@@ -1,0 +1,52 @@
+"""Figure 10: per-layer percentage of 4-bit channels chosen by the GA.
+
+For ViT-Small and ResNet-50 the evolutionary selection is run at 25-100%
+global 4-bit ratios; the figure shows how the per-layer share of 4-bit
+channels varies across layers while the global budget is met, and that the
+per-layer shares only grow as the global ratio grows (nested selections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+
+RATIOS = (0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.mark.parametrize("model_name", ["vit_small", "resnet50"])
+def test_fig10_per_layer_selection_profile(
+    benchmark, bundles, flexiq_runtimes, results_writer, model_name
+):
+    runtime = benchmark.pedantic(
+        lambda: flexiq_runtimes[(model_name, "evolutionary", False)],
+        rounds=1, iterations=1,
+    )
+    selections = runtime.selections
+    layer_names = list(selections[RATIOS[0]].layers.keys())
+
+    rows = []
+    for layer in layer_names:
+        rows.append(
+            [layer] + [selections[ratio].layer_ratio(layer) * 100 for ratio in RATIOS]
+        )
+    text = format_table(
+        ["layer"] + [f"{int(r * 100)}%" for r in RATIOS], rows, precision=0,
+        title=f"Figure 10 -- per-layer 4-bit channel percentage ({model_name})",
+    )
+    results_writer(f"fig10_selection_profile_{model_name}", text)
+
+    for ratio in RATIOS:
+        per_layer = np.asarray([selections[ratio].layer_ratio(name) for name in layer_names])
+        # Global budget met while per-layer shares vary (except at 100%).
+        assert selections[ratio].achieved_ratio() == pytest.approx(ratio, abs=0.12)
+        if ratio < 1.0:
+            assert per_layer.std() > 0.0
+        # Per-layer shares never exceed 100%.
+        assert per_layer.max() <= 1.0 + 1e-9
+    # Nestedness: per-layer share never decreases as the global ratio grows.
+    for layer in layer_names:
+        shares = [selections[ratio].layer_ratio(layer) for ratio in RATIOS]
+        assert all(b >= a - 1e-9 for a, b in zip(shares, shares[1:]))

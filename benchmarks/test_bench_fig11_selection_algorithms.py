@@ -1,0 +1,61 @@
+"""Figure 11: comparison of channel selection algorithms.
+
+Accuracy of models produced by random, greedy and evolutionary channel
+selection at 0-100% 4-bit ratios.  The expected ordering (greedy and
+evolutionary above random, evolutionary >= greedy) is the paper's Figure 11
+result; FlexiQ's static bit-lowering is applied in all cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.core.pipeline import evaluate_ratio_sweep
+
+from conftest import full_eval
+
+MODELS = ["resnet18", "vit_small"] if not full_eval() else [
+    "resnet18", "resnet50", "vit_small", "swin_small",
+]
+ALGORITHMS = ("random", "greedy", "evolutionary")
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fig11_selection_algorithm_comparison(
+    benchmark, bundles, flexiq_runtimes, results_writer, model_name
+):
+    dataset = bundles[model_name].dataset
+
+    def run_all():
+        sweeps = {}
+        for algorithm in ALGORITHMS:
+            runtime = flexiq_runtimes[(model_name, algorithm, False)]
+            sweeps[algorithm] = evaluate_ratio_sweep(runtime, dataset)
+        return sweeps
+
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    ratios = sorted(sweeps["random"])
+    rows = [
+        [algorithm] + [sweeps[algorithm][ratio] for ratio in ratios]
+        for algorithm in ALGORITHMS
+    ]
+    text = format_table(
+        ["selection"] + [f"{int(r * 100)}%" for r in ratios], rows, precision=1,
+        title=f"Figure 11 -- accuracy (%) by selection algorithm ({model_name})",
+    )
+    results_writer(f"fig11_selection_algorithms_{model_name}", text)
+
+    # At 0% every algorithm runs the same 8-bit model.
+    assert sweeps["greedy"][0.0] == pytest.approx(sweeps["random"][0.0], abs=1.0)
+    # Averaged over the intermediate ratios (25-75%), informed selection beats
+    # random, and evolutionary is at least as good as greedy.
+    mid = [0.25, 0.5, 0.75]
+    mean_random = np.mean([sweeps["random"][r] for r in mid])
+    mean_greedy = np.mean([sweeps["greedy"][r] for r in mid])
+    mean_evolutionary = np.mean([sweeps["evolutionary"][r] for r in mid])
+    assert mean_greedy >= mean_random - 0.5
+    assert mean_evolutionary >= mean_random - 0.5
+    assert mean_evolutionary >= mean_greedy - 1.5

@@ -1,0 +1,58 @@
+"""Figure 14 / Section 8.7: per-layer L2 distance of quantized outputs.
+
+For a set of layers of a ResNet-family model, the L2 distance (normalised by
+the 8-bit output norm) between the 8-bit output and (a) the uniform INT4
+output and (b) FlexiQ outputs at 25-100% mixed 4/8-bit is measured with the
+layer inputs captured from 8-bit inference.  The paper's observation: uniform
+INT4 distances are large (>= 12.5%) while FlexiQ at 25-50% stays within a few
+percent, explaining why feature-level mixing preserves accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import layer_output_errors
+from repro.analysis.reports import format_table
+
+RATIOS = (0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig14_layer_l2_distances(benchmark, bundles, flexiq_runtimes, results_writer):
+    model_name = "resnet18"
+    runtime = flexiq_runtimes[(model_name, "greedy", False)]
+    dataset = bundles[model_name].dataset
+    batch = dataset.test_images[:32]
+
+    errors = benchmark.pedantic(
+        lambda: layer_output_errors(runtime, batch, ratios=RATIOS),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for layer, entry in errors.items():
+        rows.append(
+            [layer, entry["int4"]]
+            + [entry[f"flexiq_{int(r * 100)}"] for r in RATIOS]
+        )
+    text = format_table(
+        ["layer", "uniform INT4"] + [f"FlexiQ {int(r * 100)}%" for r in RATIOS],
+        rows, precision=3,
+        title="Figure 14 -- normalised L2 distance to the 8-bit layer output (ResNet-18 family)",
+    )
+    results_writer("fig14_layer_l2", text)
+
+    int4 = np.asarray([entry["int4"] for entry in errors.values()])
+    flexi25 = np.asarray([entry["flexiq_25"] for entry in errors.values()])
+    flexi50 = np.asarray([entry["flexiq_50"] for entry in errors.values()])
+    flexi100 = np.asarray([entry["flexiq_100"] for entry in errors.values()])
+    # Uniform INT4 distances are substantial for every layer.
+    assert int4.min() > 0.01
+    # FlexiQ 25% stays well below the uniform INT4 distance on average ...
+    assert flexi25.mean() < 0.5 * int4.mean()
+    # ... and grows monotonically with the ratio.
+    assert flexi25.mean() <= flexi50.mean() + 1e-6 <= flexi100.mean() + 1e-6
+    # Even the 100% 4-bit FlexiQ distance does not exceed uniform INT4 (the
+    # effective-bit extraction helps).
+    assert flexi100.mean() <= int4.mean() * 1.05

@@ -1,0 +1,66 @@
+"""Figure 7: GeMM/convolution latency and model latency vs the 4-bit ratio.
+
+Left: ViT-Base on the GPU model (A6000); right: ResNet-18 on the NPU model.
+Top rows report the latency of the quantizable GEMM/convolution operations
+only, bottom rows the whole-model latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.hardware.gpu import GpuLatencyModel
+from repro.hardware.npu import NpuLatencyModel
+from repro.hardware.workloads import model_ops
+
+RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig7_latency_vs_ratio(benchmark, results_writer):
+    gpu = GpuLatencyModel("a6000")
+    npu = NpuLatencyModel()
+    vit = model_ops("vit_base", 16)
+    resnet = model_ops("resnet18", 1)
+    vit_gemms = [op for op in vit if op.kind == "gemm" and op.quantizable]
+    resnet_convs = [op for op in resnet if op.kind == "gemm" and op.quantizable]
+
+    def sweep():
+        rows = []
+        for ratio in RATIOS:
+            gpu_gemm = sum(
+                gpu.gemm_latency(op, "flexiq", four_bit_ratio=ratio) for op in vit_gemms
+            )
+            gpu_model = gpu.model_latency(vit, "flexiq", four_bit_ratio=ratio)
+            npu_conv = sum(npu.op_latency(op, four_bit_ratio=ratio) for op in resnet_convs)
+            npu_model = npu.model_latency(resnet, four_bit_ratio=ratio)
+            rows.append([
+                f"{int(ratio * 100)}%",
+                gpu_gemm * 1e3, gpu_model * 1e3, npu_conv * 1e3, npu_model * 1e3,
+            ])
+        return rows
+
+    rows = benchmark(sweep)
+
+    int8_gpu = gpu.model_latency(vit, "int8") * 1e3
+    int4_gpu = gpu.model_latency(vit, "int4") * 1e3
+    table = format_table(
+        ["4-bit ratio", "GPU GeMM (ms)", "GPU model (ms)", "NPU conv (ms)", "NPU model (ms)"],
+        rows, precision=2,
+        title=(
+            "Figure 7 -- latency vs 4-bit ratio (ViT-Base on A6000, ResNet-18 on NPU)\n"
+            f"reference: uniform INT8 {int8_gpu:.2f} ms, uniform INT4 {int4_gpu:.2f} ms (GPU model)"
+        ),
+    )
+    results_writer("fig7_latency_sweep", table)
+
+    gpu_models = [row[2] for row in rows]
+    npu_models = [row[4] for row in rows]
+    # Latency decreases monotonically with the 4-bit ratio on both platforms.
+    assert all(b <= a + 1e-9 for a, b in zip(gpu_models, gpu_models[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(npu_models, npu_models[1:]))
+    # 100% 4-bit latency approaches the uniform INT4 latency (within ~10%).
+    assert gpu_models[-1] <= int4_gpu * 1.10
+    # 0% ratio matches the INT8 baseline.
+    assert gpu_models[0] == pytest.approx(int8_gpu, rel=0.02)

@@ -1,0 +1,63 @@
+"""Section 7 ("Resource Consumption"): memory footprint and weight traffic.
+
+FlexiQ keeps 8-bit weights resident so the 4-bit ratio can change at run
+time; its footprint therefore matches the INT8 model.  Restricting the
+supported ratio range shrinks the footprint, and caching the extracted 4-bit
+weights trades memory for bandwidth.  This bench reports the ViT-Base
+numbers for every deployment option and checks the orderings the paper
+states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.hardware.memory import resource_report
+from repro.hardware.workloads import model_ops
+
+
+def test_sec7_memory_footprint_and_traffic(benchmark, results_writer):
+    ops = model_ops("vit_base", 16)
+    report = benchmark(lambda: resource_report(ops))
+
+    rows = [
+        [
+            name,
+            entry.weight_bytes / 1e6,
+            entry.cache_bytes / 1e6,
+            entry.total_bytes / 1e6,
+            entry.weight_traffic_bytes / 1e6,
+        ]
+        for name, entry in report.items()
+    ]
+    text = format_table(
+        ["deployment", "weights (MB)", "cache (MB)", "total (MB)", "traffic/inference (MB)"],
+        rows, precision=1,
+        title="Section 7 -- ViT-Base parameter footprint and weight traffic",
+    )
+    results_writer("sec7_resources", text)
+
+    # FlexiQ's footprint equals the 8-bit model's (Section 7).
+    assert report["flexiq_full_range"].weight_bytes == pytest.approx(
+        report["uniform_int8"].weight_bytes
+    )
+    # Restricting the ratio range to 50-100% reduces the footprint, but not
+    # below the pure INT4 model.
+    assert (
+        report["uniform_int4"].weight_bytes
+        < report["flexiq_50_100_range"].weight_bytes
+        < report["flexiq_full_range"].weight_bytes
+    )
+    # Runtime extraction doubles weight traffic relative to uniform INT4;
+    # caching removes the overhead at the cost of extra memory.
+    assert report["flexiq_full_range"].weight_traffic_bytes == pytest.approx(
+        2 * report["uniform_int4"].weight_traffic_bytes
+    )
+    assert report["flexiq_full_range_cached"].weight_traffic_bytes == pytest.approx(
+        report["uniform_int4"].weight_traffic_bytes
+    )
+    assert (
+        report["flexiq_full_range_cached"].total_bytes
+        > report["flexiq_full_range"].total_bytes
+    )

@@ -1,0 +1,99 @@
+"""Table 2: accuracy of FlexiQ's 4/8-bit mixed-precision models.
+
+For every evaluated model the bench reports full-precision accuracy, uniform
+channel-wise INT8/INT4 accuracy, and FlexiQ accuracy at 25/50/75/100% 4-bit
+channel ratios, with and without finetuning.  The quantities to reproduce are
+the orderings (INT8 ~ FP, FlexiQ degrades gracefully with the ratio, FlexiQ
+100% far above uniform INT4) rather than the absolute percentages.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.baselines.uniform import uniform_accuracy_sweep
+from repro.core.pipeline import evaluate_ratio_sweep
+from repro.train.loop import evaluate_accuracy
+
+from conftest import accuracy_models, full_eval
+
+RATIOS = (0.25, 0.5, 0.75, 1.0)
+
+
+def _row(name, bundle, runtime):
+    dataset = bundle.dataset
+    fp_acc = evaluate_accuracy(bundle.model, dataset)
+    uniform = uniform_accuracy_sweep(
+        bundle.model, dataset, bundle.calibration.all(), bit_widths=(4, 8)
+    )
+    sweep = evaluate_ratio_sweep(runtime, dataset)
+    return {
+        "model": bundle.spec.abbreviation,
+        "fp": fp_acc,
+        "int8": uniform[8],
+        "int4": uniform[4],
+        "flexiq": {ratio: sweep[ratio] for ratio in RATIOS},
+        "flexiq_int8": sweep[0.0],
+    }
+
+
+@pytest.mark.parametrize("finetuned", [False, True])
+def test_table2_accuracy(benchmark, bundles, flexiq_runtimes, results_writer, finetuned):
+    models = accuracy_models()
+    if finetuned and not full_eval():
+        # Finetuning every model is the expensive half of Table 2; by default
+        # exercise it on two representative models (one CNN, one transformer).
+        models = ["resnet18", "vit_small"]
+
+    rows = []
+
+    def build_all():
+        results = []
+        for name in models:
+            runtime = flexiq_runtimes[(name, "evolutionary", finetuned)]
+            results.append(_row(name, bundles[name], runtime))
+        return results
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    header = ["Model", "UniformINT4", "100%", "75%", "50%", "25%", "UniformINT8", "Full-Prec."]
+    table_rows = [
+        [
+            row["model"], row["int4"],
+            row["flexiq"][1.0], row["flexiq"][0.75], row["flexiq"][0.5], row["flexiq"][0.25],
+            row["int8"], row["fp"],
+        ]
+        for row in rows
+    ]
+    suffix = "finetuned" if finetuned else "ptq"
+    table = format_table(
+        header, table_rows, precision=1,
+        title=f"Table 2 -- accuracy (%) of FlexiQ mixed-precision models ({suffix})",
+    )
+    results_writer(f"table2_accuracy_{suffix}", table)
+
+    for row in rows:
+        # INT8 tracks full precision closely.
+        assert row["int8"] >= row["fp"] - 3.0
+        # FlexiQ at 0% equals the INT8 configuration.
+        assert row["flexiq_int8"] == pytest.approx(row["int8"], abs=3.0)
+        # Graceful degradation: 25% 4-bit stays close to INT8 and each row
+        # degrades monotonically (within noise) as the ratio grows.
+        assert row["flexiq"][0.25] >= row["int8"] - 8.0
+        series = [row["int8"]] + [row["flexiq"][r] for r in RATIOS]
+        assert all(b <= a + 3.0 for a, b in zip(series, series[1:]))
+        # FlexiQ's full 4-bit model beats uniform INT4 (the headline claim).
+        assert row["flexiq"][1.0] >= row["int4"] - 1.0
+    # The scaled-down models are more quantization-sensitive than the paper's
+    # ImageNet checkpoints, so the 0.6%-at-50% figure is not expected to hold
+    # in absolute terms; the 50% operating point must still retain most of the
+    # INT8 accuracy on average.
+    mean_drop_at_half = np.mean([row["int8"] - row["flexiq"][0.5] for row in rows])
+    assert mean_drop_at_half < 12.0
+    # On average the 100% 4-bit FlexiQ model improves clearly over uniform INT4.
+    mean_gain = np.mean([row["flexiq"][1.0] - row["int4"] for row in rows])
+    assert mean_gain > 0.0

@@ -1,0 +1,138 @@
+"""Table 5: comparison against multi-precision adaptive quantization schemes.
+
+FlexiQ is compared against reimplementations of PTMQ (layer-wise multi-bit,
+post-training), HAWQ-v3-style layer-wise mixed precision, RobustQuant-style
+and AnyPrecision-style multi-bitwidth training.  As in the paper, accuracy is
+reported *relative to the full-precision model* at average bitwidths of
+roughly 4, 6 and 8 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.baselines.anyprecision import AnyPrecisionConfig, anyprecision_finetune
+from repro.baselines.hawq import hawq_layerwise_quantize
+from repro.baselines.ptmq import ptmq_average_bit_assignment, ptmq_quantize
+from repro.baselines.robustquant import (
+    RobustQuantConfig,
+    evaluate_at_bits,
+    robustquant_finetune,
+)
+from repro.core.pipeline import evaluate_ratio_sweep
+from repro.train.loop import evaluate_accuracy
+
+from conftest import full_eval
+
+MODELS = ["resnet18", "vit_small"] if not full_eval() else [
+    "resnet18", "resnet50", "vit_base", "deit_small", "deit_base",
+]
+
+# FlexiQ ratios whose average bitwidth corresponds to ~4 / ~6 / ~8 bits.
+FLEXIQ_RATIO_FOR_BITS = {4: 1.0, 6: 0.5, 8: 0.0}
+
+
+def _relative(accuracy, full_precision):
+    return accuracy - full_precision
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_table5_multiprecision_comparison(
+    benchmark, bundles, flexiq_runtimes, results_writer, model_name
+):
+    bundle = bundles[model_name]
+    dataset = bundle.dataset
+    calibration = bundle.calibration.all()
+    fp_accuracy = evaluate_accuracy(bundle.model, dataset)
+
+    def run_all():
+        results = {}
+
+        # FlexiQ (ours): accuracy at the ratios matching 4/6/8 average bits,
+        # once post-training-only (compared against PTMQ) and once finetuned
+        # (compared against the trained schemes), mirroring the paper's rows.
+        runtime = flexiq_runtimes[(model_name, "evolutionary", False)]
+        sweep = evaluate_ratio_sweep(runtime, dataset)
+        results["FlexiQ (ours, PTQ)"] = {
+            bits: _relative(sweep[ratio], fp_accuracy)
+            for bits, ratio in FLEXIQ_RATIO_FOR_BITS.items()
+        }
+        finetuned_runtime = flexiq_runtimes[(model_name, "evolutionary", True)]
+        finetuned_sweep = evaluate_ratio_sweep(finetuned_runtime, dataset)
+        results["FlexiQ (ours, finetuned)"] = {
+            bits: _relative(finetuned_sweep[ratio], fp_accuracy)
+            for bits, ratio in FLEXIQ_RATIO_FOR_BITS.items()
+        }
+
+        # PTMQ: layer-wise multi-bit scale sets, no retraining.
+        ptmq = ptmq_quantize(bundle.model, calibration, bit_choices=(4, 6, 8))
+        ptmq_row = {}
+        for bits in (4, 6, 8):
+            ptmq.set_layer_bits(ptmq_average_bit_assignment(ptmq, float(bits)))
+            ptmq_row[bits] = _relative(ptmq.accuracy(dataset), fp_accuracy)
+        results["PTMQ"] = ptmq_row
+
+        # HAWQ-v3-style layer-wise mixed precision (static, per target).
+        hawq_row = {}
+        for bits in (4, 6, 8):
+            hawq = hawq_layerwise_quantize(
+                bundle.model, calibration, target_average_bits=float(bits)
+            )
+            hawq_row[bits] = _relative(evaluate_accuracy(hawq.model, dataset), fp_accuracy)
+        results["HAWQv3"] = hawq_row
+
+        # RobustQuant: one bitwidth-robust model evaluated at each precision.
+        robust = robustquant_finetune(
+            bundle.model, dataset, calibration,
+            RobustQuantConfig(epochs=1, bit_choices=(4, 6, 8), learning_rate=5e-3),
+        )
+        results["RobustQuant"] = {
+            bits: _relative(evaluate_at_bits(robust, dataset, bits, calibration), fp_accuracy)
+            for bits in (4, 6, 8)
+        }
+
+        # AnyPrecision: jointly trained multi-bitwidth model.
+        any_precision = anyprecision_finetune(
+            bundle.model, dataset, calibration,
+            AnyPrecisionConfig(epochs=1, bit_choices=(4, 6, 8), learning_rate=5e-3),
+        )
+        results["AnyPrecision"] = {
+            bits: _relative(
+                evaluate_at_bits(any_precision, dataset, bits, calibration), fp_accuracy
+            )
+            for bits in (4, 6, 8)
+        }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [method, row[4], row[6], row[8]]
+        for method, row in results.items()
+    ]
+    text = format_table(
+        ["method", "4-bit", "6-bit", "8-bit"], rows, precision=2,
+        title=(
+            f"Table 5 -- relative accuracy (pp vs full precision {fp_accuracy:.1f}%) "
+            f"for multi-precision schemes ({bundle.spec.abbreviation})"
+        ),
+    )
+    results_writer(f"table5_multiprecision_{model_name}", text)
+
+    ptq_row = results["FlexiQ (ours, PTQ)"]
+    finetuned_row = results["FlexiQ (ours, finetuned)"]
+    # FlexiQ's 8-bit setting matches full precision closely.
+    assert ptq_row[8] >= -3.0
+    # Accuracy improves with more bits for FlexiQ.
+    assert ptq_row[4] <= ptq_row[6] + 1.0 <= ptq_row[8] + 2.0
+    # Like-for-like comparisons (the paper's Table 5 structure): the PTQ
+    # FlexiQ row competes with PTMQ, and the finetuned FlexiQ row competes
+    # with the schemes that retrain the model.
+    assert ptq_row[4] >= results["PTMQ"][4] - 1.5
+    trained_best_at_4 = max(
+        results[method][4] for method in ("HAWQv3", "RobustQuant", "AnyPrecision")
+    )
+    best_flexiq_at_4 = max(ptq_row[4], finetuned_row[4])
+    assert best_flexiq_at_4 >= trained_best_at_4 - 4.0

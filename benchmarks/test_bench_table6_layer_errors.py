@@ -1,0 +1,78 @@
+"""Table 6 / Section 8.8: layer-wise errors of the selection algorithms.
+
+Average error (relative to 8-bit-only inference) of selected Q/K/V projection
+layers of the ViT-family model under evolutionary, greedy and random channel
+selection at 25/50/75% 4-bit ratios.  Because the whole model runs at the
+mixed precision, inter-layer error amplification is included, which is the
+effect the evolutionary selection targets; the expected trends are (a) errors
+grow with depth and with the ratio and (b) evolutionary <= greedy <= random
+on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import selection_layer_errors
+from repro.analysis.reports import format_table
+
+RATIOS = (0.25, 0.5, 0.75)
+ALGORITHMS = ("evolutionary", "greedy", "random")
+
+
+def test_table6_layerwise_selection_errors(
+    benchmark, bundles, flexiq_runtimes, results_writer
+):
+    model_name = "vit_small"
+    bundle = bundles[model_name]
+    batch = bundle.dataset.test_images[:32]
+    runtimes = {
+        algorithm: flexiq_runtimes[(model_name, algorithm, False)]
+        for algorithm in ALGORITHMS
+    }
+    # Q/K/V projection layers, as in the paper's Table 6.
+    qkv_layers = [
+        name
+        for name, _ in runtimes["evolutionary"].flexiq_layers()
+        if name in runtimes["evolutionary"].layout_plan.layouts
+        and any(tag in name for tag in ("q_proj", "k_proj", "v_proj"))
+    ]
+    assert qkv_layers, "ViT model must expose Q/K/V projections"
+
+    table = benchmark.pedantic(
+        lambda: selection_layer_errors(
+            runtimes, batch, ratios=RATIOS, layer_names=qkv_layers, norm="l1"
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for layer in qkv_layers:
+        row = [layer]
+        for ratio in RATIOS:
+            for algorithm in ALGORITHMS:
+                row.append(table[layer][algorithm][ratio])
+        rows.append(row)
+    headers = ["layer"] + [
+        f"{int(ratio * 100)}%:{algorithm[:4]}"
+        for ratio in RATIOS for algorithm in ALGORITHMS
+    ]
+    text = format_table(
+        headers, rows, precision=3,
+        title="Table 6 -- relative L1 error of Q/K/V outputs vs 8-bit inference (ViT-S family)",
+    )
+    results_writer("table6_layer_errors", text)
+
+    def mean_error(algorithm, ratio):
+        return float(np.mean([table[layer][algorithm][ratio] for layer in qkv_layers]))
+
+    for algorithm in ALGORITHMS:
+        # Errors grow with the 4-bit ratio.
+        series = [mean_error(algorithm, ratio) for ratio in RATIOS]
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+    # Informed selection keeps layer errors at or below random selection, and
+    # the evolutionary search is at least as good as greedy on average.
+    for ratio in RATIOS:
+        assert mean_error("greedy", ratio) <= mean_error("random", ratio) * 1.25
+        assert mean_error("evolutionary", ratio) <= mean_error("greedy", ratio) * 1.15

@@ -1,0 +1,99 @@
+"""Tour of the hardware latency models: GPU fleet, NPU and kernel internals.
+
+Reproduces the latency side of the paper's evaluation on synthetic hardware:
+
+* per-GPU latency of ViT-Base across FlexiQ ratios (Table 4),
+* the framework comparison (Table 3),
+* the NPU cycle model for ResNet-18 (Figure 7 right), and
+* the functional mixed-precision GEMM kernel, verifying that its integer
+  arithmetic matches the reference formulation while counting MMA and
+  shift-accumulate operations.
+
+Run with:  python examples/hardware_latency_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.core.bit_extraction import extraction_shift
+from repro.hardware.devices import GPU_CATALOG
+from repro.hardware.frameworks import framework_comparison
+from repro.hardware.gpu import GpuLatencyModel
+from repro.hardware.kernels import MixedPrecisionGemm, mixed_gemm_reference
+from repro.hardware.npu import NpuLatencyModel
+from repro.hardware.workloads import model_ops
+
+RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def gpu_fleet_table() -> None:
+    ops = model_ops("vit_base", 16)
+    rows = []
+    for gpu in GPU_CATALOG:
+        model = GpuLatencyModel(gpu)
+        row = [gpu, model.model_latency(ops, "int8") * 1e3]
+        row += [model.model_latency(ops, "flexiq", four_bit_ratio=r) * 1e3 for r in RATIOS[1:]]
+        row.append(model.model_latency(ops, "int4") * 1e3)
+        rows.append(row)
+    headers = ["GPU", "INT8"] + [f"FlexiQ {int(r*100)}%" for r in RATIOS[1:]] + ["INT4"]
+    print(format_table(headers, rows, precision=2,
+                       title="ViT-Base, batch 16: latency (ms) across GPUs (Table 4)"))
+
+
+def framework_table() -> None:
+    model = GpuLatencyModel("a6000")
+    comparison = framework_comparison(model, model_ops("vit_base", 16))
+    rows = [[name, value * 1e3] for name, value in comparison.items()]
+    print(format_table(["framework", "latency (ms)"], rows, precision=2,
+                       title="\nViT-Base, batch 16, A6000: framework comparison (Table 3)"))
+
+
+def npu_table() -> None:
+    npu = NpuLatencyModel()
+    ops = model_ops("resnet18", 1)
+    rows = [
+        [f"{int(r * 100)}%", npu.model_latency(ops, four_bit_ratio=r) * 1e3]
+        for r in RATIOS
+    ]
+    print(format_table(["4-bit ratio", "latency (ms)"], rows, precision=2,
+                       title="\nResNet-18 on the 32x32 systolic-array NPU (Figure 7)"))
+
+
+def kernel_demo() -> None:
+    rng = np.random.default_rng(0)
+    channels, rows_, out = 64, 8, 16
+    channel_max = rng.integers(8, 128, size=channels)
+    q_x = np.stack([rng.integers(-m, m + 1, size=rows_) for m in channel_max], axis=1)
+    q_w = np.stack([rng.integers(-m, m + 1, size=out) for m in channel_max], axis=1)
+    shifts = extraction_shift(channel_max, 8, 4)
+    group_shifts = shifts.reshape(-1, 8).max(axis=1).repeat(8)
+
+    kernel = MixedPrecisionGemm(group_size=8)
+    boundary = 32
+    acc = kernel(q_x, q_w, boundary, group_shifts, group_shifts)
+    reference = mixed_gemm_reference(q_x, q_w, boundary, group_shifts, group_shifts)
+    assert np.array_equal(acc, reference)
+
+    stats = kernel.stats
+    rows = [
+        ["INT4 MMA multiply-accumulates", stats.mma_int4],
+        ["INT8 MMA multiply-accumulates", stats.mma_int8],
+        ["shift-accumulate operations", stats.shift_accumulates],
+        ["weight bytes read", stats.weight_bytes],
+        ["activation bytes read", stats.activation_bytes],
+    ]
+    print(format_table(["kernel statistic", "count"], rows, precision=0,
+                       title="\nFunctional mixed GEMM (64 channels, 50% 4-bit prefix)"))
+
+
+def main() -> None:
+    gpu_fleet_table()
+    framework_table()
+    npu_table()
+    kernel_demo()
+
+
+if __name__ == "__main__":
+    main()

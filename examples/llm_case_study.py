@@ -1,0 +1,60 @@
+"""Section 8.10 case study: applying FlexiQ to a small language model.
+
+Trains (or loads) the tiny decoder-only LM on the synthetic character corpus,
+quantizes it with FlexiQ, and reports perplexity for full precision, INT8,
+FlexiQ at 25-100% 4-bit ratios, and uniform INT4 -- reproducing the ordering
+the paper observes for OPT-350m on WikiText2.
+
+Run with:  python examples/llm_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.core import FlexiQConfig, FlexiQPipeline
+from repro.core.selection import SelectionConfig
+from repro.data.text import build_text_corpus
+from repro.train.pretrain import get_pretrained
+
+
+def main() -> None:
+    print("Loading the pre-trained tiny decoder LM (trains once, then cached)...")
+    model = get_pretrained("tiny_lm")
+    corpus = build_text_corpus()
+    test_sequences = corpus.test_sequences()[:64]
+    calibration = corpus.train_sequences()[:64]
+    forward_fn = lambda m, batch: m(batch)
+
+    print("Quantizing with FlexiQ...")
+    config = FlexiQConfig(
+        ratios=(0.25, 0.5, 0.75, 1.0), group_size=4, selection="greedy",
+        selection_config=SelectionConfig(group_size=4),
+    )
+    runtime = FlexiQPipeline(model, calibration, config, forward_fn=forward_fn).run()
+
+    rows = [["full precision", model.perplexity(test_sequences)]]
+    for ratio in (0.0, 0.25, 0.5, 0.75, 1.0):
+        runtime.set_ratio(ratio)
+        label = "INT8 (FlexiQ 0%)" if ratio == 0.0 else f"FlexiQ {int(ratio * 100)}%"
+        rows.append([label, runtime.model.perplexity(test_sequences)])
+
+    # The LLM takes raw token ids, so pass a custom forward_fn for calibration.
+    from repro.quant.qmodel import quantize_model
+
+    int4 = quantize_model(
+        model, weight_bits=4,
+        calibration_batches=[calibration[i : i + 16] for i in range(0, len(calibration), 16)],
+        forward_fn=forward_fn,
+    )
+    rows.append(["uniform INT4", int4.perplexity(test_sequences)])
+
+    print(format_table(["configuration", "perplexity"], rows, precision=2,
+                       title="\nLLM case study (tiny decoder LM, synthetic corpus)"))
+    print(
+        "\nExpected shape (mirroring the paper's OPT-350m results): perplexity rises\n"
+        "gently from INT8 through the FlexiQ ratios and collapses for uniform INT4."
+    )
+
+
+if __name__ == "__main__":
+    main()

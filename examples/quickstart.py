@@ -1,0 +1,67 @@
+"""Quickstart: quantize a vision model with FlexiQ and switch ratios at runtime.
+
+This walks through the core FlexiQ workflow end to end:
+
+1. obtain a pre-trained model and a calibration set,
+2. run the FlexiQ pipeline (8-bit base quantization, channel scoring,
+   evolutionary selection for nested 4-bit ratios, layout optimization),
+3. evaluate accuracy at every 4-bit ratio,
+4. switch the deployed ratio at runtime and look at the per-layer effect.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.core import FlexiQConfig, FlexiQPipeline
+from repro.core.pipeline import evaluate_ratio_sweep
+from repro.core.selection import SelectionConfig
+from repro.data import CalibrationSampler
+from repro.baselines.uniform import uniform_accuracy_sweep
+from repro.train.loop import evaluate_accuracy
+from repro.train.pretrain import get_dataset_for, get_pretrained
+
+
+def main() -> None:
+    model_name = "resnet18"
+    print(f"Loading pre-trained {model_name} (trains once, then cached)...")
+    model = get_pretrained(model_name)
+    dataset = get_dataset_for(model_name)
+    calibration = CalibrationSampler(dataset.train_images, size=64, batch_size=32)
+
+    print("Running the FlexiQ pipeline (scoring + evolutionary selection)...")
+    config = FlexiQConfig(
+        ratios=(0.25, 0.5, 0.75, 1.0),
+        group_size=4,
+        selection="evolutionary",
+        selection_config=SelectionConfig(group_size=4, population_size=8, generations=5),
+    )
+    pipeline = FlexiQPipeline(model, calibration.all(), config)
+    runtime = pipeline.run()
+
+    print("Evaluating accuracy across 4-bit ratios...")
+    fp_accuracy = evaluate_accuracy(model, dataset)
+    uniform = uniform_accuracy_sweep(model, dataset, calibration.all(), bit_widths=(4, 8))
+    sweep = evaluate_ratio_sweep(runtime, dataset)
+
+    rows = [["full precision", fp_accuracy],
+            ["uniform INT8", uniform[8]],
+            ["uniform INT4", uniform[4]]]
+    rows += [[f"FlexiQ {int(ratio * 100)}% 4-bit", accuracy]
+             for ratio, accuracy in sorted(sweep.items())]
+    print(format_table(["configuration", "accuracy (%)"], rows, precision=1,
+                       title=f"\n{model_name}: accuracy vs precision"))
+
+    # Runtime ratio switching is a single pointer update per layer.
+    runtime.set_ratio(0.5)
+    fractions = runtime.per_layer_4bit_fraction()
+    print("\nPer-layer 4-bit fraction at the 50% operating point:")
+    for layer, fraction in list(fractions.items())[:8]:
+        print(f"  {layer:<40s} {fraction * 100:5.1f}%")
+    print(f"  ... ({len(fractions)} layers total, "
+          f"average weight bits = {runtime.average_weight_bits():.2f})")
+
+
+if __name__ == "__main__":
+    main()

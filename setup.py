@@ -1,0 +1,26 @@
+"""Setuptools entry point.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 660
+editable installs are unavailable; this classic ``setup.py`` keeps
+``pip install -e .`` working via the legacy develop path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "FlexiQ: adaptive mixed-precision quantization for latency/accuracy "
+        "trade-offs (EuroSys '26 reproduction)"
+    ),
+    author="FlexiQ reproduction authors",
+    license="Apache-2.0",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={
+        "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+    },
+)

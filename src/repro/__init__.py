@@ -1,0 +1,19 @@
+"""FlexiQ reproduction: adaptive mixed-precision quantization.
+
+This package reimplements the full FlexiQ system (EuroSys '26) and every
+substrate it depends on: a NumPy autodiff/NN stack, a quantization framework,
+the FlexiQ channel-selection and bit-lowering core, hardware latency models
+for an NPU and several GPUs, and an inference-serving simulator.
+
+The most common entry points are:
+
+* :class:`repro.core.pipeline.FlexiQPipeline` -- quantize a model with FlexiQ
+  and obtain a runtime object whose 4-bit ratio can be adjusted on the fly.
+* :mod:`repro.nn.registry` -- build the model zoo used throughout the paper's
+  evaluation.
+* :mod:`repro.serving` -- run serving simulations with dynamic ratio control.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

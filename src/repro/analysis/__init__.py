@@ -1,0 +1,30 @@
+"""Analysis tooling behind Figures 1, 12, 13, 14 and Table 6."""
+
+from repro.analysis.capture import CapturingLayer, capture_layer_io, release_capture
+from repro.analysis.unused_bits import (
+    UnusedBitProfile,
+    layer_unused_bit_profile,
+    model_unused_bit_profiles,
+    bit_extraction_error_comparison,
+)
+from repro.analysis.saturation import SaturationProfile, saturation_profiles
+from repro.analysis.layer_error import (
+    layer_output_errors,
+    selection_layer_errors,
+)
+from repro.analysis.reports import format_table
+
+__all__ = [
+    "CapturingLayer",
+    "SaturationProfile",
+    "UnusedBitProfile",
+    "bit_extraction_error_comparison",
+    "capture_layer_io",
+    "format_table",
+    "layer_output_errors",
+    "layer_unused_bit_profile",
+    "model_unused_bit_profiles",
+    "release_capture",
+    "saturation_profiles",
+    "selection_layer_errors",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table formatting used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table (paper-style rows for the benches)."""
+    formatted_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in formatted_rows:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            str(cells[i]).rjust(widths[i]) if i < len(cells) else " " * widths[i]
+            for i in range(columns)
+        ]
+        return " | ".join(padded)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)

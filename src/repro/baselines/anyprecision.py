@@ -1,0 +1,95 @@
+"""AnyPrecision-style multi-bitwidth training.
+
+AnyPrecision DNNs (Yu et al., AAAI 2021) train one set of weights that can be
+executed at several precisions by accumulating, for every batch, the losses
+of fake-quantized forward passes at *all* supported bitwidths (knowledge is
+optionally distilled from the highest precision to the lower ones).  This is
+the mechanism reproduced here; evaluation at a particular bitwidth then uses
+the same dynamic-quantization path as RobustQuant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.finetune import set_qat_bits
+from repro.data.synthetic import SyntheticImageDataset
+from repro.nn.module import Module
+from repro.quant.qmodel import quantize_model
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.train.optim import SGD
+
+
+@dataclass
+class AnyPrecisionConfig:
+    """Hyper-parameters for multi-bitwidth joint training."""
+
+    bit_choices: Sequence[int] = (4, 6, 8)
+    epochs: int = 2
+    batch_size: int = 32
+    learning_rate: float = 1e-2
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    distill_from_highest: bool = True
+    seed: int = 0
+
+
+def anyprecision_finetune(
+    model: Module,
+    dataset: SyntheticImageDataset,
+    calibration: np.ndarray,
+    config: AnyPrecisionConfig = AnyPrecisionConfig(),
+    calibration_batch_size: int = 32,
+) -> Module:
+    """Jointly train one quantized model for all configured bitwidths."""
+    batches = [
+        calibration[start : start + calibration_batch_size]
+        for start in range(0, len(calibration), calibration_batch_size)
+    ]
+    quantized = quantize_model(
+        model, weight_bits=8, act_bits=8, calibration_batches=batches
+    )
+    optimizer = SGD(
+        quantized.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    rng = np.random.default_rng(config.seed)
+    bit_choices = sorted(config.bit_choices, reverse=True)
+
+    quantized.train()
+    for _ in range(config.epochs):
+        for images, labels in dataset.train_batches(config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            soft_labels = None
+            total_loss = None
+            for bits in bit_choices:
+                set_qat_bits(quantized, bits)
+                logits = quantized(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                if config.distill_from_highest:
+                    if soft_labels is None:
+                        # Highest precision defines the distillation target.
+                        soft_labels = _softmax_np(logits.data)
+                    else:
+                        loss = loss + F.soft_cross_entropy(logits, soft_labels)
+                total_loss = loss if total_loss is None else total_loss + loss
+            total_loss.backward()
+            optimizer.step()
+    set_qat_bits(quantized, None)
+    quantized.eval()
+
+    from repro.core.finetune import refresh_quantization
+
+    refresh_quantization(quantized, batches)
+    return quantized
+
+
+def _softmax_np(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)

@@ -1,0 +1,54 @@
+"""FlexiQ core: bit-lowering, channel selection, layout and the runtime.
+
+The public entry point is :class:`repro.core.pipeline.FlexiQPipeline`, which
+takes a pre-trained float model plus calibration data and produces a
+:class:`repro.core.runtime.FlexiQModel` whose 4-bit channel ratio can be
+switched at run time.
+"""
+
+from repro.core.bit_extraction import (
+    BitExtractionPlan,
+    dynamic_extraction_shift,
+    extraction_shift,
+    lower_bits,
+    raise_bits,
+    unused_bits,
+)
+from repro.core.scoring import ChannelScore, estimate_channel_scores
+from repro.core.selection import (
+    ChannelSelection,
+    SelectionConfig,
+    evolutionary_selection,
+    greedy_selection,
+    random_selection,
+)
+from repro.core.layout import LayoutPlan, build_layout_plan
+from repro.core.runtime import FlexiQConv2d, FlexiQLinear, FlexiQModel
+from repro.core.controller import AdaptiveRatioController, LatencyProfile
+from repro.core.pipeline import FlexiQConfig, FlexiQPipeline
+
+__all__ = [
+    "AdaptiveRatioController",
+    "BitExtractionPlan",
+    "ChannelScore",
+    "ChannelSelection",
+    "FlexiQConfig",
+    "FlexiQConv2d",
+    "FlexiQLinear",
+    "FlexiQModel",
+    "FlexiQPipeline",
+    "LatencyProfile",
+    "LayoutPlan",
+    "SelectionConfig",
+    "build_layout_plan",
+    "dynamic_extraction_shift",
+    "estimate_channel_scores",
+    "evolutionary_selection",
+    "extraction_shift",
+    "greedy_selection",
+    "build_layout_plan",
+    "lower_bits",
+    "raise_bits",
+    "random_selection",
+    "unused_bits",
+]

@@ -1,0 +1,326 @@
+"""FlexiQ mixed-precision runtime layers and model wrapper.
+
+A FlexiQ layer stores 8-bit weights (per-output-channel scales) and computes
+a leading prefix of its feature channels in 4-bit, the rest in 8-bit.  The
+prefix length (``max_4bit_ch``) is the only state that changes when the
+runtime adjusts the 4-bit ratio, mirroring the kernel described in Section 7.
+
+The 4-bit path uses the effective bit extraction of Section 4.1: each channel
+group has an extraction shift; activations and weights are lowered by their
+shifts, multiplied as small integers, and the product is scaled back by
+``2**(shift_w + shift_a)`` before being accumulated with the 8-bit partial
+sums.  Because the per-channel rescale factorises into the two operands, the
+functional kernel applies it per operand; the hardware models account for the
+grouped shift-accumulate structure the real kernels use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bit_extraction import (
+    BitExtractionPlan,
+    extraction_shift,
+    lower_bits,
+)
+from repro.core.layout import ChannelLayout, LayoutPlan
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quant.qmodules import QuantConv2d, QuantLinear, QuantizedLayer
+from repro.quant.quantizers import quantize
+from repro.tensor import Tensor
+from repro.tensor.functional import im2col
+
+
+class _FlexiQMixin:
+    """Mixed-precision machinery shared by FlexiQ linear and conv layers."""
+
+    def _init_flexiq_state(self) -> None:
+        self.layout: Optional[ChannelLayout] = None
+        self.extraction_plan: Optional[BitExtractionPlan] = None
+        self.group_size: int = 1
+        self.max_4bit_ch: int = 0
+        self.dynamic_extract: bool = False
+        self.low_bits: int = 4
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        layout: ChannelLayout,
+        extraction_plan: BitExtractionPlan,
+        group_size: int = 1,
+        low_bits: int = 4,
+    ) -> None:
+        """Attach the channel layout and bit-extraction plan to this layer.
+
+        ``extraction_plan`` is given in the *original* channel order; it is
+        permuted into the layout order here so the runtime kernel can slice
+        leading channels directly.
+        """
+        if layout.num_channels != self.feature_channels:
+            raise ValueError(
+                f"layout has {layout.num_channels} channels, layer expects "
+                f"{self.feature_channels}"
+            )
+        if extraction_plan.num_channels != self.feature_channels:
+            raise ValueError("extraction plan does not match layer channels")
+        plan = extraction_plan
+        if group_size > 1:
+            # Shifts are shared within hardware channel groups.
+            padded = self.feature_channels - self.feature_channels % group_size
+            if padded == self.feature_channels:
+                plan = plan.group_reduce(group_size)
+        self.layout = layout
+        self.group_size = int(group_size)
+        self.low_bits = int(low_bits)
+        order = layout.order
+        self.extraction_plan = BitExtractionPlan(
+            weight_shift=plan.weight_shift[order],
+            act_shift=plan.act_shift[order],
+            high_bits=plan.high_bits,
+            low_bits=low_bits,
+        )
+        self.max_4bit_ch = 0
+
+    def set_boundary(self, boundary: int) -> None:
+        """Set the number of leading (permuted) channels computed in 4-bit."""
+        if self.layout is None:
+            raise RuntimeError("configure() must be called before set_boundary")
+        if not 0 <= boundary <= self.feature_channels:
+            raise ValueError("boundary out of range")
+        self.max_4bit_ch = int(boundary)
+
+    def set_ratio(self, ratio: float) -> None:
+        """Set the 4-bit prefix from a configured target ratio."""
+        if self.layout is None:
+            raise RuntimeError("configure() must be called before set_ratio")
+        self.set_boundary(self.layout.boundary_for(ratio))
+
+    def set_dynamic_extraction(self, enabled: bool) -> None:
+        self.dynamic_extract = bool(enabled)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def current_4bit_fraction(self) -> float:
+        return self.max_4bit_ch / max(self.feature_channels, 1)
+
+    def effective_weight_bits(self) -> float:
+        """Average weight bitwidth given the current 4-bit prefix."""
+        frac = self.current_4bit_fraction()
+        return 4.0 * frac + self.weight_bits * (1.0 - frac)
+
+    # ------------------------------------------------------------------
+    # Mixed-precision integer GEMM
+    # ------------------------------------------------------------------
+    def _mixed_precision_matmul(
+        self, q_x: np.ndarray, q_w: np.ndarray, taps: int = 1
+    ) -> np.ndarray:
+        """Compute ``q_x @ q_w.T`` with a 4-bit prefix and an 8-bit remainder.
+
+        ``q_x``: (rows, channels * taps) integer activations, channel-major.
+        ``q_w``: (out, channels * taps) integer weights, channel-major.
+        ``taps``: number of consecutive columns per feature channel (k*k for
+        convolutions, 1 for linear layers).
+        """
+        if self.layout is None or self.extraction_plan is None:
+            return q_x @ q_w.T
+
+        channels = self.feature_channels
+        order = self.layout.order
+        boundary = self.max_4bit_ch
+
+        if taps == 1:
+            column_order = order
+        else:
+            column_order = (order[:, None] * taps + np.arange(taps)[None, :]).reshape(-1)
+        x_perm = q_x[:, column_order]
+        w_perm = q_w[:, column_order]
+
+        split = boundary * taps
+        acc = np.zeros((q_x.shape[0], q_w.shape[0]), dtype=np.float64)
+
+        if split > 0:
+            act_shift = self.extraction_plan.act_shift[:boundary]
+            weight_shift = self.extraction_plan.weight_shift[:boundary]
+            if self.dynamic_extract:
+                act_shift = self._dynamic_act_shift(x_perm[:, :split], boundary, taps)
+            act_shift_cols = np.repeat(act_shift, taps)
+            weight_shift_cols = np.repeat(weight_shift, taps)
+
+            x_low = lower_bits(x_perm[:, :split], act_shift_cols[None, :], self.low_bits)
+            w_low = lower_bits(w_perm[:, :split], weight_shift_cols[None, :], self.low_bits)
+            # Rescale each operand by its own shift; the product then carries
+            # 2**(shift_a + shift_w), exactly the bit-shifted accumulation the
+            # hardware performs per channel group.
+            x_scaled = x_low.astype(np.float64) * np.power(2.0, act_shift_cols)[None, :]
+            w_scaled = w_low.astype(np.float64) * np.power(2.0, weight_shift_cols)[None, :]
+            acc += x_scaled @ w_scaled.T
+
+        if split < channels * taps:
+            acc += (
+                x_perm[:, split:].astype(np.float64)
+                @ w_perm[:, split:].astype(np.float64).T
+            )
+        return acc
+
+    def _dynamic_act_shift(
+        self, x_low_cols: np.ndarray, boundary: int, taps: int
+    ) -> np.ndarray:
+        """Per-channel extraction shifts computed from the runtime batch."""
+        per_channel = x_low_cols.reshape(x_low_cols.shape[0], boundary, taps)
+        max_abs = np.abs(per_channel).max(axis=(0, 2))
+        shifts = extraction_shift(
+            max_abs, high_bits=self.extraction_plan.high_bits, low_bits=self.low_bits
+        )
+        if self.group_size > 1:
+            shifts = _group_max(shifts, self.group_size)
+        return shifts
+
+
+def _group_max(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Share the maximum value within contiguous groups (last group may be short)."""
+    result = values.copy()
+    for start in range(0, len(values), group_size):
+        stop = min(start + group_size, len(values))
+        result[start:stop] = values[start:stop].max()
+    return result
+
+
+class FlexiQLinear(QuantLinear, _FlexiQMixin):
+    """Fully connected layer with a runtime-adjustable 4-bit channel prefix."""
+
+    def __init__(self, source: Linear, weight_bits: int = 8, act_bits: int = 8) -> None:
+        super().__init__(source, weight_bits=weight_bits, act_bits=act_bits)
+        self._init_flexiq_state()
+
+    def _quantized_forward(self, x: Tensor) -> Tensor:
+        q_x = quantize(x.data, self.act_qparams).astype(np.float64)
+        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
+        rows = q_x.reshape(-1, self.in_features)
+        acc = self._mixed_precision_matmul(rows, q_w, taps=1)
+        scale = self.act_qparams.scale * self.weight_qparams.scale
+        out = acc * scale.reshape(1, -1)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1)
+        out = out.reshape(x.shape[:-1] + (self.out_features,))
+        return Tensor(out.astype(np.float32))
+
+    def __repr__(self) -> str:
+        return (
+            f"FlexiQLinear(in={self.in_features}, out={self.out_features}, "
+            f"4bit={self.max_4bit_ch}/{self.in_features})"
+        )
+
+
+class FlexiQConv2d(QuantConv2d, _FlexiQMixin):
+    """Convolution with a runtime-adjustable 4-bit feature-channel prefix."""
+
+    def __init__(self, source: Conv2d, weight_bits: int = 8, act_bits: int = 8) -> None:
+        super().__init__(source, weight_bits=weight_bits, act_bits=act_bits)
+        self._init_flexiq_state()
+
+    def _quantized_forward(self, x: Tensor) -> Tensor:
+        if self.groups != 1:
+            # Depthwise/grouped convolutions follow the uniform quantized path;
+            # FlexiQ channel selection targets dense convolutions and linears.
+            return super()._quantized_forward(x)
+        n = x.shape[0]
+        k = self.kernel_size
+        cols, (out_h, out_w) = im2col(x.data, (k, k), self.stride, self.padding)
+        q_cols = quantize(cols, self.act_qparams).astype(np.float64)
+        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
+        w_mat = q_w.reshape(self.out_channels, -1)
+        rows = q_cols.reshape(-1, q_cols.shape[-1])
+        acc = self._mixed_precision_matmul(rows, w_mat, taps=k * k)
+        scale = self.act_qparams.scale * self.weight_qparams.scale
+        out = acc.reshape(n, out_h * out_w, self.out_channels) * scale.reshape(1, 1, -1)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, 1, -1)
+        out = out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
+        return Tensor(out.astype(np.float32))
+
+    def __repr__(self) -> str:
+        return (
+            f"FlexiQConv2d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, 4bit={self.max_4bit_ch}/{self.in_channels})"
+        )
+
+
+class FlexiQModel:
+    """A quantized model whose 4-bit channel ratio can be switched at runtime."""
+
+    def __init__(
+        self,
+        model: Module,
+        layout_plan: LayoutPlan,
+        selections: Dict[float, "ChannelSelection"],
+        group_size: int,
+    ) -> None:
+        from repro.core.selection import ChannelSelection  # noqa: F401 (typing only)
+
+        self.model = model
+        self.layout_plan = layout_plan
+        self.selections = selections
+        self.group_size = group_size
+        self.current_ratio: float = 0.0
+        self._flexiq_layers: List[Tuple[str, QuantizedLayer]] = [
+            (name, module)
+            for name, module in model.named_modules()
+            if isinstance(module, (FlexiQLinear, FlexiQConv2d))
+        ]
+
+    # ------------------------------------------------------------------
+    # Ratio control
+    # ------------------------------------------------------------------
+    @property
+    def available_ratios(self) -> List[float]:
+        return [0.0] + list(self.layout_plan.ratios)
+
+    def flexiq_layers(self) -> List[Tuple[str, QuantizedLayer]]:
+        return list(self._flexiq_layers)
+
+    def set_ratio(self, ratio: float) -> None:
+        """Switch every FlexiQ layer to the channel prefix for ``ratio``.
+
+        The cost of this operation in the real system is a single variable
+        update per layer (see Section 8.5); here it is a Python loop over the
+        layers, and the hardware models charge the corresponding (negligible)
+        switch latency.
+        """
+        for name, layer in self._flexiq_layers:
+            if name in self.layout_plan.layouts:
+                layer.set_ratio(ratio)
+        self.current_ratio = float(ratio)
+
+    def set_dynamic_extraction(self, enabled: bool) -> None:
+        for _, layer in self._flexiq_layers:
+            layer.set_dynamic_extraction(enabled)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.model(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        return self.model(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def per_layer_4bit_fraction(self) -> Dict[str, float]:
+        """Fraction of channels currently computed in 4-bit, per layer."""
+        return {
+            name: layer.current_4bit_fraction() for name, layer in self._flexiq_layers
+        }
+
+    def average_weight_bits(self) -> float:
+        """Parameter-weighted average bitwidth at the current ratio."""
+        from repro.quant.qmodel import model_average_bits
+
+        return model_average_bits(self.model)

@@ -1,0 +1,25 @@
+"""Datasets, calibration samplers and serving traces.
+
+Offline substitutes for the paper's data dependencies:
+
+* :mod:`repro.data.synthetic` -- class-structured synthetic image datasets
+  standing in for CIFAR-10/100 and ImageNet.
+* :mod:`repro.data.text` -- a synthetic character corpus standing in for
+  WikiText2 in the LLM case study.
+* :mod:`repro.data.traces` -- Poisson and fluctuating request-rate traces
+  standing in for the Azure inference traces used in Figures 8 and 9.
+"""
+
+from repro.data.synthetic import DATASET_REGISTRY, SyntheticImageDataset, build_dataset
+from repro.data.calibration import CalibrationSampler
+from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+
+__all__ = [
+    "CalibrationSampler",
+    "DATASET_REGISTRY",
+    "FluctuatingTrace",
+    "PoissonTrace",
+    "RequestTrace",
+    "SyntheticImageDataset",
+    "build_dataset",
+]

@@ -1,0 +1,129 @@
+"""Request-arrival traces for the serving experiments (Figures 8 and 9).
+
+Two trace families are provided:
+
+* :class:`PoissonTrace` -- open-loop Poisson arrivals at a fixed average
+  rate, used for the latency-vs-rate sweeps in Figure 8.
+* :class:`FluctuatingTrace` -- a piecewise-varying rate whose peak is a
+  configurable multiple of its minimum (the paper uses 3x, following Azure
+  trace statistics), used for the dynamic-adaptation experiment in Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class RequestTrace:
+    """A concrete sequence of request arrival timestamps (seconds)."""
+
+    arrival_times: np.ndarray
+    duration: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.arrival_times = np.asarray(self.arrival_times, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.arrival_times)
+
+    @property
+    def average_rate(self) -> float:
+        """Average arrival rate in requests per second."""
+        if self.duration <= 0:
+            return 0.0
+        return len(self.arrival_times) / self.duration
+
+    def rate_in_window(self, start: float, end: float) -> float:
+        """Observed arrival rate within [start, end)."""
+        if end <= start:
+            return 0.0
+        count = int(
+            np.count_nonzero(
+                (self.arrival_times >= start) & (self.arrival_times < end)
+            )
+        )
+        return count / (end - start)
+
+
+class PoissonTrace:
+    """Generate open-loop Poisson arrivals at a constant average rate."""
+
+    def __init__(self, rate_per_second: float, duration: float, seed: int = 0) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = float(rate_per_second)
+        self.duration = float(duration)
+        self.seed = int(seed)
+
+    def generate(self) -> RequestTrace:
+        """Sample inter-arrival gaps until the duration is exhausted."""
+        rng = np.random.default_rng(self.seed)
+        expected = int(self.rate * self.duration * 1.2) + 16
+        gaps = rng.exponential(1.0 / self.rate, size=expected)
+        times = np.cumsum(gaps)
+        while times[-1] < self.duration:
+            extra = rng.exponential(1.0 / self.rate, size=expected)
+            times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+        times = times[times < self.duration]
+        return RequestTrace(
+            arrival_times=times,
+            duration=self.duration,
+            description=f"poisson(rate={self.rate:.0f}/s)",
+        )
+
+
+@dataclass
+class FluctuatingTrace:
+    """Piecewise-constant fluctuating request rate, peak = ``peak_ratio`` x min.
+
+    The rate profile follows a smooth bursty pattern: it ramps between the
+    minimum and the peak over ``num_phases`` phases, echoing the request-rate
+    fluctuations of the Azure public traces referenced by the paper.
+    """
+
+    min_rate: float
+    peak_ratio: float = 3.0
+    duration: float = 60.0
+    num_phases: int = 12
+    seed: int = 0
+    _phase_rates: List[float] = field(default_factory=list, init=False)
+
+    def phase_rates(self) -> List[float]:
+        """Return the per-phase average rates (requests/second)."""
+        if not self._phase_rates:
+            rng = np.random.default_rng(self.seed)
+            peak = self.min_rate * self.peak_ratio
+            # Smooth ramp up/down with jitter, covering min -> peak -> min.
+            base = 0.5 * (1 - np.cos(np.linspace(0, 2 * np.pi, self.num_phases)))
+            rates = self.min_rate + base * (peak - self.min_rate)
+            jitter = rng.uniform(0.92, 1.08, size=self.num_phases)
+            self._phase_rates = list(np.clip(rates * jitter, self.min_rate * 0.9, peak * 1.05))
+        return self._phase_rates
+
+    def generate(self) -> RequestTrace:
+        """Generate arrivals by drawing a Poisson process per phase."""
+        rng = np.random.default_rng(self.seed + 1)
+        phase_duration = self.duration / self.num_phases
+        times: List[np.ndarray] = []
+        for phase_index, rate in enumerate(self.phase_rates()):
+            start = phase_index * phase_duration
+            expected = int(rate * phase_duration * 1.3) + 8
+            gaps = rng.exponential(1.0 / rate, size=expected)
+            arrivals = start + np.cumsum(gaps)
+            arrivals = arrivals[arrivals < start + phase_duration]
+            times.append(arrivals)
+        all_times = np.sort(np.concatenate(times))
+        return RequestTrace(
+            arrival_times=all_times,
+            duration=self.duration,
+            description=(
+                f"fluctuating(min={self.min_rate:.0f}/s, peak_ratio={self.peak_ratio:.1f})"
+            ),
+        )

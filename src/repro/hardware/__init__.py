@@ -1,0 +1,48 @@
+"""Hardware latency models and functional kernel simulators.
+
+The paper evaluates FlexiQ on a custom DNNWeaver-v2-based NPU and on four
+GPUs with a CUTLASS-based mixed-precision GEMM kernel.  Neither is available
+offline, so this package provides:
+
+* :mod:`repro.hardware.devices` -- a catalog of GPU device parameters
+  (tensor-core/CUDA-core throughput, memory bandwidth).
+* :mod:`repro.hardware.workloads` -- paper-scale layer shapes (ViT-Base,
+  ResNet-18, ...) expressed as GEMM/convolution operations.
+* :mod:`repro.hardware.gpu` -- an analytic latency model of the FlexiQ mixed
+  GEMM kernel (tensor cores for multiply-add, CUDA cores for the bit-shifted
+  accumulation, pipelined) plus whole-model latency estimation.
+* :mod:`repro.hardware.npu` -- a cycle model of the 32x32 systolic-array NPU
+  with 4-bit/8-bit MAC modes.
+* :mod:`repro.hardware.kernels` -- functional integer mixed-precision GEMM
+  used to validate numerics and count the operations the latency models charge.
+* :mod:`repro.hardware.frameworks` -- CUTLASS / TensorRT baseline cost models
+  for Table 3.
+"""
+
+from repro.hardware.devices import GPU_CATALOG, GpuSpec, get_gpu
+from repro.hardware.workloads import LayerOp, model_ops, vit_ops, resnet_ops
+from repro.hardware.gpu import GpuLatencyModel
+from repro.hardware.npu import NpuConfig, NpuLatencyModel
+from repro.hardware.kernels import MixedPrecisionGemm, mixed_gemm_reference
+from repro.hardware.frameworks import framework_latency
+from repro.hardware.memory import MemoryFootprint, flexiq_footprint, resource_report, uniform_footprint
+
+__all__ = [
+    "GPU_CATALOG",
+    "GpuLatencyModel",
+    "GpuSpec",
+    "LayerOp",
+    "MemoryFootprint",
+    "MixedPrecisionGemm",
+    "NpuConfig",
+    "NpuLatencyModel",
+    "flexiq_footprint",
+    "framework_latency",
+    "get_gpu",
+    "mixed_gemm_reference",
+    "model_ops",
+    "resnet_ops",
+    "resource_report",
+    "uniform_footprint",
+    "vit_ops",
+]

@@ -1,0 +1,62 @@
+"""GPU device catalog.
+
+The throughput and bandwidth figures are the public peak specifications of
+each device (dense, no sparsity).  The latency model applies an efficiency
+factor on top of these peaks; what matters for reproducing the paper's
+Table 4 is the *relative* balance between tensor-core throughput, CUDA-core
+throughput and memory bandwidth -- in particular the A100's comparatively low
+CUDA-core (FP32) rate, which bottlenecks FlexiQ's shift-and-accumulate stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Peak capability description of one GPU."""
+
+    name: str
+    category: str                 # "commodity" or "datacenter"
+    int8_tops: float              # tensor-core INT8, TOPS
+    int4_tops: float              # tensor-core INT4, TOPS
+    fp16_tflops: float            # tensor-core FP16, TFLOPS
+    cuda_fp32_tflops: float       # CUDA-core FP32, TFLOPS
+    memory_bandwidth_gbps: float  # GB/s
+    kernel_launch_us: float = 5.0  # fixed per-kernel overhead
+
+
+GPU_CATALOG: Dict[str, GpuSpec] = {
+    "rtx3090": GpuSpec(
+        name="rtx3090", category="commodity",
+        int8_tops=284.0, int4_tops=568.0, fp16_tflops=71.0,
+        cuda_fp32_tflops=35.6, memory_bandwidth_gbps=936.0,
+    ),
+    "a6000": GpuSpec(
+        name="a6000", category="commodity",
+        int8_tops=309.7, int4_tops=619.3, fp16_tflops=77.4,
+        cuda_fp32_tflops=38.7, memory_bandwidth_gbps=768.0,
+    ),
+    "a100": GpuSpec(
+        name="a100", category="datacenter",
+        int8_tops=624.0, int4_tops=1248.0, fp16_tflops=312.0,
+        cuda_fp32_tflops=19.5, memory_bandwidth_gbps=1555.0,
+    ),
+    "l40s": GpuSpec(
+        name="l40s", category="datacenter",
+        int8_tops=733.0, int4_tops=1466.0, fp16_tflops=362.0,
+        cuda_fp32_tflops=91.6, memory_bandwidth_gbps=864.0,
+    ),
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU by name (case-insensitive)."""
+    key = name.lower()
+    if key not in GPU_CATALOG:
+        raise KeyError(
+            f"unknown GPU {name!r}; available: {', '.join(sorted(GPU_CATALOG))}"
+        )
+    return GPU_CATALOG[key]

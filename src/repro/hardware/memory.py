@@ -1,0 +1,108 @@
+"""Memory footprint and bandwidth model (Section 7, "Resource Consumption").
+
+FlexiQ stores 8-bit weights so the 4-bit ratio can change at run time; its
+footprint therefore equals an INT8 model's.  Three refinements discussed in
+the paper are modelled here:
+
+* restricting the supported ratio range (e.g. 50-100 % instead of 0-100 %)
+  lets the never-8-bit channels be stored in 4 bits, shrinking the footprint;
+* runtime bit extraction reads 8-bit weights for channels computed in 4-bit,
+  costing extra bandwidth relative to a uniform INT4 model;
+* caching the extracted 4-bit weights removes that bandwidth overhead at the
+  cost of additional memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.hardware.workloads import LayerOp
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Bytes of parameter storage and per-inference weight traffic."""
+
+    weight_bytes: float
+    cache_bytes: float
+    weight_traffic_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.cache_bytes
+
+
+def _weight_elements(ops: Sequence[LayerOp]) -> float:
+    return float(sum(op.n * op.k for op in ops if op.kind == "gemm"))
+
+
+def uniform_footprint(ops: Sequence[LayerOp], bits: int) -> MemoryFootprint:
+    """Footprint of a uniform ``bits``-wide model (no runtime flexibility)."""
+    elements = _weight_elements(ops)
+    bytes_per_element = bits / 8.0
+    weight_bytes = elements * bytes_per_element
+    return MemoryFootprint(
+        weight_bytes=weight_bytes,
+        cache_bytes=0.0,
+        weight_traffic_bytes=weight_bytes,
+    )
+
+
+def flexiq_footprint(
+    ops: Sequence[LayerOp],
+    min_ratio: float = 0.0,
+    max_ratio: float = 1.0,
+    active_ratio: float | None = None,
+    cache_extracted: bool = False,
+) -> MemoryFootprint:
+    """Footprint/traffic of a FlexiQ model supporting ratios in [min, max].
+
+    Channels that are 4-bit at *every* supported ratio (the ``min_ratio``
+    prefix) never need their 8-bit form and can be stored in 4 bits; the rest
+    stay 8-bit so the ratio can be raised or lowered at run time.
+
+    ``active_ratio`` (defaults to ``max_ratio``) sets the deployed ratio used
+    for the traffic estimate; ``cache_extracted`` additionally stores the
+    extracted 4-bit copies of the channels currently computed in 4-bit,
+    trading memory for bandwidth.
+    """
+    if not 0.0 <= min_ratio <= max_ratio <= 1.0:
+        raise ValueError("ratios must satisfy 0 <= min_ratio <= max_ratio <= 1")
+    active_ratio = max_ratio if active_ratio is None else active_ratio
+    if not min_ratio <= active_ratio <= max_ratio:
+        raise ValueError("active_ratio must lie within the supported range")
+
+    elements = _weight_elements(ops)
+    always_low = elements * min_ratio          # storable as 4-bit
+    flexible = elements - always_low           # must stay 8-bit
+    weight_bytes = always_low * 0.5 + flexible * 1.0
+
+    # Per-inference weight traffic: 4-bit channels read either their cached
+    # 4-bit copy or their 8-bit master; 8-bit channels always read 8 bits.
+    low_elements = elements * active_ratio
+    high_elements = elements - low_elements
+    low_read_bytes = low_elements * (0.5 if cache_extracted or active_ratio <= min_ratio else 1.0)
+    weight_traffic = low_read_bytes + high_elements * 1.0
+
+    cache_bytes = 0.0
+    if cache_extracted:
+        cache_bytes = max(low_elements - always_low, 0.0) * 0.5
+    return MemoryFootprint(
+        weight_bytes=weight_bytes,
+        cache_bytes=cache_bytes,
+        weight_traffic_bytes=weight_traffic,
+    )
+
+
+def resource_report(ops: Sequence[LayerOp]) -> Dict[str, MemoryFootprint]:
+    """Footprints of the deployment options discussed in Section 7."""
+    return {
+        "uniform_int8": uniform_footprint(ops, 8),
+        "uniform_int4": uniform_footprint(ops, 4),
+        "flexiq_full_range": flexiq_footprint(ops, 0.0, 1.0, active_ratio=1.0),
+        "flexiq_full_range_cached": flexiq_footprint(
+            ops, 0.0, 1.0, active_ratio=1.0, cache_extracted=True
+        ),
+        "flexiq_50_100_range": flexiq_footprint(ops, 0.5, 1.0, active_ratio=1.0),
+    }

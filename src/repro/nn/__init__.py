@@ -1,0 +1,38 @@
+"""Neural-network layers, blocks and the model zoo used in the evaluation.
+
+The zoo mirrors the paper's eleven vision models (ResNet-20/18/34/50,
+MobileNetV2, ViT-S/B, DeiT-S/B, Swin-S/B) as scaled-down members of the same
+architecture families, plus a small decoder-only language model for the
+Section 8.10 case study.  See :mod:`repro.nn.registry` for the builders.
+"""
+
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.registry import MODEL_REGISTRY, build_model, list_models
+
+__all__ = [
+    "BatchNorm2d",
+    "Conv2d",
+    "GELU",
+    "Identity",
+    "LayerNorm",
+    "Linear",
+    "MODEL_REGISTRY",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "ReLU6",
+    "Sequential",
+    "build_model",
+    "list_models",
+]

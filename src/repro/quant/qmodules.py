@@ -1,0 +1,313 @@
+"""Quantized linear and convolution layers (uniform INT4/INT8 baselines).
+
+Each quantized layer goes through three phases:
+
+1. ``calibrating`` -- the layer runs in float and its observers record the
+   input-activation ranges (per tensor for the scale, per feature channel for
+   FlexiQ's later analysis).
+2. ``freeze()`` -- quantization parameters are computed from the observers.
+3. quantized inference -- activations and weights are mapped to integers and
+   the matrix multiplication is carried out on integer values (stored in
+   float64 so NumPy uses BLAS; the arithmetic is exact because all operands
+   are small integers), then rescaled back to float.
+
+The FlexiQ mixed-precision layers in :mod:`repro.core.runtime` subclass these
+and override only the integer kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module, Parameter
+from repro.quant.observers import EmaMinMaxObserver, MinMaxObserver, TensorRange
+from repro.quant.quantizers import QuantParams, compute_qparams, fake_quantize, quantize
+from repro.tensor import Tensor
+from repro.tensor.functional import col2im, im2col
+
+
+class QuantizedLayer(Module):
+    """Common machinery shared by :class:`QuantLinear` and :class:`QuantConv2d`."""
+
+    def __init__(self, weight_bits: int, act_bits: int, act_momentum: float = 0.99) -> None:
+        super().__init__()
+        self.weight_bits = int(weight_bits)
+        self.act_bits = int(act_bits)
+        self.calibrating = True
+        # Per-tensor activation scale (EMA, like the paper) plus per-feature-
+        # channel ranges used by FlexiQ's scoring and bit extraction.
+        self.act_observer = EmaMinMaxObserver(momentum=act_momentum)
+        self.act_channel_observer = MinMaxObserver(channel_axis=0)
+        self.weight_qparams: Optional[QuantParams] = None
+        self.act_qparams: Optional[QuantParams] = None
+        # When set to a bitwidth, forward() runs the differentiable
+        # fake-quantized path at that precision (used for QAT finetuning).
+        self.qat_bits: Optional[int] = None
+
+    # -- implemented by subclasses ------------------------------------
+    @property
+    def feature_channels(self) -> int:
+        raise NotImplementedError
+
+    def _weight_matrix(self) -> np.ndarray:
+        """Weights reshaped to (out_channels, feature_channels * k) form."""
+        raise NotImplementedError
+
+    def _float_forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def _observe_input(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _quantized_forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    # -- calibration ----------------------------------------------------
+    def freeze(self) -> None:
+        """Finish calibration: compute weight and activation quant params."""
+        weight = self._weight_reference().data
+        weight_range = TensorRange(
+            low=weight.reshape(weight.shape[0], -1).min(axis=1),
+            high=weight.reshape(weight.shape[0], -1).max(axis=1),
+        )
+        self.weight_qparams = compute_qparams(
+            weight_range, self.weight_bits, channel_axis=0
+        )
+        self.act_qparams = compute_qparams(self.act_observer.range(), self.act_bits)
+        self.calibrating = False
+
+    def _weight_reference(self) -> Parameter:
+        raise NotImplementedError
+
+    # -- inference ------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self._observe_input(x.data)
+            return self._float_forward(x)
+        if self.weight_qparams is None or self.act_qparams is None:
+            raise RuntimeError("freeze() must be called before quantized inference")
+        if self.qat_bits is not None:
+            return self.qat_forward(x, weight_bits=self.qat_bits, act_bits=self.qat_bits)
+        return self._quantized_forward(x)
+
+    def reset_calibration(self) -> None:
+        """Discard observer state and re-enter calibration mode.
+
+        Used after finetuning, when the weight values (and hence activation
+        distributions) have moved and the quantization grids must be
+        re-estimated.
+        """
+        momentum = self.act_observer.momentum
+        self.act_observer = EmaMinMaxObserver(momentum=momentum)
+        self.act_channel_observer = MinMaxObserver(channel_axis=0)
+        self.weight_qparams = None
+        self.act_qparams = None
+        self.calibrating = True
+
+    def qat_forward(self, x: Tensor, weight_bits: Optional[int] = None,
+                    act_bits: Optional[int] = None) -> Tensor:
+        """Differentiable fake-quantized forward pass (for finetuning)."""
+        if self.weight_qparams is None or self.act_qparams is None:
+            raise RuntimeError("freeze() must be called before QAT forward")
+        w_params = self.weight_qparams
+        a_params = self.act_qparams
+        if weight_bits is not None and weight_bits != w_params.bits:
+            w_params = compute_qparams(
+                TensorRange(
+                    low=-w_params.scale * (2 ** (w_params.bits - 1)),
+                    high=w_params.scale * (2 ** (w_params.bits - 1) - 1),
+                ),
+                weight_bits,
+                channel_axis=0,
+            )
+        if act_bits is not None and act_bits != a_params.bits:
+            a_params = compute_qparams(
+                TensorRange(
+                    low=-a_params.scale * (2 ** (a_params.bits - 1)),
+                    high=a_params.scale * (2 ** (a_params.bits - 1) - 1),
+                ),
+                act_bits,
+            )
+        fake_w = fake_quantize(self._weight_reference(), w_params)
+        fake_x = fake_quantize(x, a_params)
+        return self._apply(fake_x, fake_w)
+
+    def _apply(self, x: Tensor, weight: Tensor) -> Tensor:
+        """Apply the layer's linear operation with explicit weights."""
+        raise NotImplementedError
+
+    # -- introspection ----------------------------------------------------
+    def input_channel_range(self) -> TensorRange:
+        """Observed per-feature-channel activation ranges (from calibration)."""
+        return self.act_channel_observer.range()
+
+    def weight_channel_max_abs(self) -> np.ndarray:
+        """Per-feature-channel max |w| across all output channels and taps."""
+        weight = self._weight_matrix()  # (out, features, taps)
+        return np.abs(weight).max(axis=(0, 2))
+
+
+class QuantLinear(QuantizedLayer):
+    """Uniform symmetric quantized fully connected layer."""
+
+    def __init__(self, source: Linear, weight_bits: int = 8, act_bits: int = 8) -> None:
+        super().__init__(weight_bits, act_bits)
+        self.in_features = source.in_features
+        self.out_features = source.out_features
+        self.weight = Parameter(source.weight.data.copy())
+        self.bias = Parameter(source.bias.data.copy()) if source.bias is not None else None
+
+    @property
+    def feature_channels(self) -> int:
+        return self.in_features
+
+    def _weight_reference(self) -> Parameter:
+        return self.weight
+
+    def _weight_matrix(self) -> np.ndarray:
+        return self.weight.data.reshape(self.out_features, self.in_features, 1)
+
+    def _observe_input(self, x: np.ndarray) -> None:
+        flat = x.reshape(-1, self.in_features)
+        self.act_observer.observe(flat)
+        self.act_channel_observer.observe(flat.T)
+
+    def _float_forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(Tensor(self.weight.data.T))
+        if self.bias is not None:
+            out = out + Tensor(self.bias.data)
+        return out
+
+    def _apply(self, x: Tensor, weight: Tensor) -> Tensor:
+        out = x.matmul(weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def _quantized_forward(self, x: Tensor) -> Tensor:
+        q_x = quantize(x.data, self.act_qparams).astype(np.float64)
+        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
+        acc = q_x @ q_w.T
+        scale = self.act_qparams.scale * self.weight_qparams.scale  # (out,)
+        out = acc * scale.reshape((1,) * (acc.ndim - 1) + (-1,))
+        if self.bias is not None:
+            out = out + self.bias.data
+        return Tensor(out.astype(np.float32))
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantLinear(in={self.in_features}, out={self.out_features}, "
+            f"w{self.weight_bits}a{self.act_bits})"
+        )
+
+
+class QuantConv2d(QuantizedLayer):
+    """Uniform symmetric quantized 2D convolution (via im2col GEMM)."""
+
+    def __init__(self, source: Conv2d, weight_bits: int = 8, act_bits: int = 8) -> None:
+        super().__init__(weight_bits, act_bits)
+        self.in_channels = source.in_channels
+        self.out_channels = source.out_channels
+        self.kernel_size = source.kernel_size
+        self.stride = source.stride
+        self.padding = source.padding
+        self.groups = source.groups
+        self.weight = Parameter(source.weight.data.copy())
+        self.bias = Parameter(source.bias.data.copy()) if source.bias is not None else None
+
+    @property
+    def feature_channels(self) -> int:
+        return self.in_channels
+
+    def _weight_reference(self) -> Parameter:
+        return self.weight
+
+    def _weight_matrix(self) -> np.ndarray:
+        k = self.kernel_size
+        if self.groups == 1:
+            return self.weight.data.reshape(
+                self.out_channels, self.in_channels, k * k
+            )
+        # For grouped convolutions, expand to a dense (out, in, taps) view so
+        # per-feature-channel statistics have a uniform shape; weights outside
+        # a channel's group are structurally zero.
+        dense = np.zeros(
+            (self.out_channels, self.in_channels, k * k), dtype=np.float32
+        )
+        in_per_group = self.in_channels // self.groups
+        out_per_group = self.out_channels // self.groups
+        for group in range(self.groups):
+            rows = slice(group * out_per_group, (group + 1) * out_per_group)
+            cols = slice(group * in_per_group, (group + 1) * in_per_group)
+            dense[rows, cols] = self.weight.data[rows].reshape(
+                out_per_group, in_per_group, k * k
+            )
+        return dense
+
+    def _observe_input(self, x: np.ndarray) -> None:
+        self.act_observer.observe(x)
+        # Per-feature-channel statistics: collapse batch and spatial dims.
+        per_channel = x.transpose(1, 0, 2, 3).reshape(x.shape[1], -1)
+        self.act_channel_observer.observe(per_channel)
+
+    def _float_forward(self, x: Tensor) -> Tensor:
+        from repro.tensor import functional as F
+
+        weight = Tensor(self.weight.data)
+        bias = Tensor(self.bias.data) if self.bias is not None else None
+        return F.conv2d(
+            x, weight, bias, stride=self.stride, padding=self.padding, groups=self.groups
+        )
+
+    def _apply(self, x: Tensor, weight: Tensor) -> Tensor:
+        from repro.tensor import functional as F
+
+        return F.conv2d(
+            x, weight, self.bias, stride=self.stride, padding=self.padding,
+            groups=self.groups,
+        )
+
+    def _quantized_forward(self, x: Tensor) -> Tensor:
+        if self.groups != 1:
+            return self._simulated_quantized_forward(x)
+        n = x.shape[0]
+        k = self.kernel_size
+        cols, (out_h, out_w) = im2col(x.data, (k, k), self.stride, self.padding)
+        q_cols = quantize(cols, self.act_qparams).astype(np.float64)
+        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
+        w_mat = q_w.reshape(self.out_channels, -1)
+        acc = q_cols @ w_mat.T  # (N, P, out)
+        scale = self.act_qparams.scale * self.weight_qparams.scale
+        out = acc * scale.reshape(1, 1, -1)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, 1, -1)
+        out = out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
+        return Tensor(out.astype(np.float32))
+
+    def _simulated_quantized_forward(self, x: Tensor) -> Tensor:
+        """Quantize-dequantize both operands and convolve in float.
+
+        For symmetric quantization this is numerically equivalent to the
+        integer kernel followed by rescaling (``S_x q_x * S_w q_w =
+        S_x S_w (q_x q_w)``); it is used for grouped/depthwise convolutions
+        where the im2col integer path would be needlessly slow.
+        """
+        from repro.quant.quantizers import dequantize
+        from repro.tensor import functional as F
+
+        dq_x = dequantize(quantize(x.data, self.act_qparams), self.act_qparams)
+        dq_w = dequantize(quantize(self.weight.data, self.weight_qparams), self.weight_qparams)
+        bias = Tensor(self.bias.data) if self.bias is not None else None
+        return F.conv2d(
+            Tensor(dq_x), Tensor(dq_w), bias,
+            stride=self.stride, padding=self.padding, groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantConv2d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, w{self.weight_bits}a{self.act_bits})"
+        )

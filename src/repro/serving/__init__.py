@@ -1,0 +1,29 @@
+"""Inference-serving simulation: queueing, batching and ratio adaptation.
+
+Used for the end-to-end latency experiments of Figures 8 and 9: requests
+arrive according to a trace (Poisson or fluctuating), are batched FIFO onto a
+single accelerator whose per-batch service time comes from the hardware
+latency models, and the resulting response-time distribution is reported.
+The adaptive experiments additionally run the FlexiQ ratio controller, which
+raises or lowers the 4-bit ratio as the observed request rate changes.
+"""
+
+from repro.serving.simulator import (
+    BatchingConfig,
+    ServingResult,
+    ServingSimulator,
+    ServiceTimeModel,
+)
+from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.adaptation import AdaptiveServingSimulator, AdaptiveServingResult
+
+__all__ = [
+    "AdaptiveServingResult",
+    "AdaptiveServingSimulator",
+    "BatchingConfig",
+    "ServiceTimeModel",
+    "ServingResult",
+    "ServingSimulator",
+    "latency_percentiles",
+    "summarize_latencies",
+]

@@ -1,0 +1,32 @@
+"""Latency metrics for serving experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def latency_percentiles(
+    latencies: Sequence[float], percentiles: Sequence[float] = (50, 90, 99)
+) -> Dict[str, float]:
+    """Return the requested percentiles of a latency sample (seconds)."""
+    values = np.asarray(latencies, dtype=np.float64)
+    if values.size == 0:
+        return {f"p{int(p)}": float("nan") for p in percentiles}
+    return {f"p{int(p)}": float(np.percentile(values, p)) for p in percentiles}
+
+
+def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
+    """Median/p90/p99/mean/max summary of a latency sample (seconds)."""
+    values = np.asarray(latencies, dtype=np.float64)
+    if values.size == 0:
+        return {key: float("nan") for key in ("median", "p90", "p99", "mean", "max", "count")}
+    return {
+        "median": float(np.percentile(values, 50)),
+        "p90": float(np.percentile(values, 90)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "count": float(values.size),
+    }

@@ -1,0 +1,205 @@
+"""Discrete-event serving simulator with FIFO batching.
+
+The simulated system matches the setup behind Figure 8: an open-loop request
+stream hits a single accelerator; whenever the accelerator is idle it takes
+up to ``max_batch`` queued requests and serves them as one batch whose
+duration comes from a :class:`ServiceTimeModel` (built on the analytic GPU or
+NPU latency models).  The response time of a request is queueing delay plus
+the service time of the batch it rode in.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.traces import RequestTrace
+from repro.hardware.gpu import GpuLatencyModel
+from repro.hardware.workloads import LayerOp, model_ops
+from repro.serving.metrics import summarize_latencies
+
+
+@dataclass
+class BatchingConfig:
+    """Batching policy of the serving system."""
+
+    max_batch: int = 64
+    # A request admitted while the server is busy waits in an unbounded FIFO
+    # queue; ``drop_after`` (seconds) optionally drops requests that waited
+    # longer than this (disabled by default, as in the paper).
+    drop_after: Optional[float] = None
+
+
+class ServiceTimeModel:
+    """Maps (mode, 4-bit ratio, batch size) to a batch service time.
+
+    Latency is precomputed from the hardware model at a set of anchor batch
+    sizes and linearly interpolated in between, so the discrete-event loop
+    stays cheap even for millions of requests.
+    """
+
+    def __init__(
+        self,
+        model_name: str = "vit_base",
+        gpu: str = "a6000",
+        anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
+        latency_model: Optional[GpuLatencyModel] = None,
+    ) -> None:
+        self.model_name = model_name
+        self.latency_model = latency_model or GpuLatencyModel(gpu)
+        self.anchor_batches = sorted(set(int(b) for b in anchor_batches))
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def _key(self, mode: str, ratio: float) -> str:
+        return f"{mode}:{ratio:.3f}"
+
+    def _anchor_latencies(self, mode: str, ratio: float) -> np.ndarray:
+        key = self._key(mode, ratio)
+        if key not in self._cache:
+            values = []
+            for batch in self.anchor_batches:
+                ops = model_ops(self.model_name, batch)
+                values.append(
+                    self.latency_model.model_latency(ops, mode, four_bit_ratio=ratio)
+                )
+            self._cache[key] = np.asarray(values)
+        return self._cache[key]
+
+    def batch_latency(self, batch_size: int, mode: str, ratio: float = 0.0) -> float:
+        """Service time (seconds) for one batch."""
+        if batch_size <= 0:
+            return 0.0
+        anchors = self._anchor_latencies(mode, ratio)
+        return float(np.interp(batch_size, self.anchor_batches, anchors))
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving simulation."""
+
+    latencies: np.ndarray          # per-request response times (seconds)
+    batch_sizes: List[int]
+    dropped: int
+    duration: float
+    mode: str
+    ratio: float
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.latencies)
+
+    @property
+    def median_latency(self) -> float:
+        return float(np.percentile(self.latencies, 50)) if self.latencies.size else float("nan")
+
+    @property
+    def p90_latency(self) -> float:
+        return float(np.percentile(self.latencies, 90)) if self.latencies.size else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return len(self.latencies) / self.duration
+
+
+class ServingSimulator:
+    """FIFO-batching discrete-event simulator for a single accelerator."""
+
+    def __init__(
+        self,
+        service_model: ServiceTimeModel,
+        batching: BatchingConfig = BatchingConfig(),
+    ) -> None:
+        self.service_model = service_model
+        self.batching = batching
+
+    def run(
+        self,
+        trace: RequestTrace,
+        mode: str,
+        ratio: float = 0.0,
+        ratio_schedule: Optional[Callable[[float], float]] = None,
+    ) -> ServingResult:
+        """Simulate the trace and return per-request latencies.
+
+        ``ratio_schedule`` optionally maps simulation time to a 4-bit ratio
+        (used by the adaptive experiments); when provided it overrides the
+        fixed ``ratio``.
+        """
+        arrivals = np.sort(np.asarray(trace.arrival_times, dtype=np.float64))
+        num_requests = len(arrivals)
+        latencies = np.zeros(num_requests, dtype=np.float64)
+        served = np.zeros(num_requests, dtype=bool)
+        batch_sizes: List[int] = []
+        dropped = 0
+
+        server_free_at = 0.0
+        index = 0
+        max_batch = self.batching.max_batch
+        drop_after = self.batching.drop_after
+
+        while index < num_requests:
+            first_arrival = arrivals[index]
+            start = max(server_free_at, first_arrival)
+            # All requests that have arrived by the time the server starts.
+            end_index = bisect.bisect_right(arrivals, start, lo=index)
+            batch_end = min(end_index, index + max_batch)
+            if batch_end == index:
+                batch_end = index + 1  # serve at least the request that triggered us
+
+            if drop_after is not None:
+                kept = []
+                for request in range(index, batch_end):
+                    if start - arrivals[request] > drop_after:
+                        dropped += 1
+                        served[request] = True
+                        latencies[request] = np.nan
+                    else:
+                        kept.append(request)
+                if not kept:
+                    index = batch_end
+                    continue
+                batch_indices = kept
+            else:
+                batch_indices = list(range(index, batch_end))
+
+            batch_size = len(batch_indices)
+            current_ratio = ratio_schedule(start) if ratio_schedule else ratio
+            service_time = self.service_model.batch_latency(batch_size, mode, current_ratio)
+            finish = start + service_time
+            for request in batch_indices:
+                latencies[request] = finish - arrivals[request]
+                served[request] = True
+            batch_sizes.append(batch_size)
+            server_free_at = finish
+            index = batch_end
+
+        valid = latencies[~np.isnan(latencies)]
+        return ServingResult(
+            latencies=valid,
+            batch_sizes=batch_sizes,
+            dropped=dropped,
+            duration=trace.duration,
+            mode=mode,
+            ratio=ratio,
+        )
+
+    def latency_vs_rate(
+        self,
+        rates: Sequence[float],
+        mode: str,
+        ratio: float = 0.0,
+        duration: float = 10.0,
+        seed: int = 0,
+    ) -> Dict[float, ServingResult]:
+        """Sweep Poisson request rates (the Figure 8 experiment)."""
+        from repro.data.traces import PoissonTrace
+
+        results: Dict[float, ServingResult] = {}
+        for rate in rates:
+            trace = PoissonTrace(rate, duration, seed=seed).generate()
+            results[float(rate)] = self.run(trace, mode, ratio=ratio)
+        return results

@@ -1,0 +1,273 @@
+"""Functional neural-network operations built on :class:`repro.tensor.Tensor`.
+
+Convolution is implemented with the classic im2col/col2im transformation so
+both the forward and backward passes are expressed as matrix multiplies --
+the same structure the quantized kernels in :mod:`repro.hardware.kernels`
+use, which keeps the float and integer paths directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, out_h*out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> (N, out_h*out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to an image."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding > 0:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution / linear
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2D convolution.  ``x``: (N, C, H, W); ``weight``: (O, C/groups, kh, kw)."""
+    n, c, h, w = x.shape
+    out_ch, in_per_group, kh, kw = weight.shape
+    if c != in_per_group * groups:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {c} channels, "
+            f"weight expects {in_per_group * groups}"
+        )
+
+    if groups == 1:
+        return _conv2d_single(x, weight, bias, stride, padding)
+
+    # Grouped convolution (MobileNet depthwise): run each group independently.
+    group_in = c // groups
+    group_out = out_ch // groups
+    outputs = []
+    for g in range(groups):
+        xg = x[:, g * group_in : (g + 1) * group_in]
+        wg = weight[g * group_out : (g + 1) * group_out]
+        bg = bias[g * group_out : (g + 1) * group_out] if bias is not None else None
+        outputs.append(_conv2d_single(xg, wg, bg, stride, padding))
+    return Tensor.concatenate(outputs, axis=1)
+
+
+def _conv2d_single(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: int,
+    padding: int,
+) -> Tensor:
+    n, c, h, w = x.shape
+    out_ch, _, kh, kw = weight.shape
+    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(out_ch, -1)
+    out = cols @ w_mat.T  # (N, out_h*out_w, out_ch)
+    if bias is not None:
+        out = out + bias.data.reshape(1, 1, -1)
+    out = out.transpose(0, 2, 1).reshape(n, out_ch, out_h, out_w)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray):
+        # grad: (N, out_ch, out_h, out_w)
+        grad_mat = grad.reshape(n, out_ch, out_h * out_w).transpose(0, 2, 1)
+        grad_weight = np.einsum("npo,npk->ok", grad_mat, cols).reshape(weight.shape)
+        grad_cols = grad_mat @ w_mat  # (N, out_h*out_w, C*kh*kw)
+        grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+        grads = [grad_x, grad_weight]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2, 3)))
+        return tuple(grads)
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``; ``weight``: (out, in)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols, _ = im2col(
+        x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0
+    )
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_cols = np.repeat(
+            grad.reshape(n * c, out_h * out_w, 1), kernel * kernel, axis=2
+        ) / (kernel * kernel)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), (kernel, kernel), stride, 0)
+        return (grad_x.reshape(x.shape),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Pool each (H, W) plane down to a single value: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols, _ = im2col(x.data.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(
+            grad_cols, argmax[:, :, None],
+            grad.reshape(n * c, out_h * out_w, 1), axis=2,
+        )
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), (kernel, kernel), stride, 0)
+        return (grad_x.reshape(x.shape),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Activations and normalisation helpers
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU with the tanh approximation used by most vision transformers."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + x * x * x * 0.044715) * c
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def silu(x: Tensor) -> Tensor:
+    return x * x.sigmoid()
+
+
+def relu6(x: Tensor) -> Tensor:
+    return x.clip(0.0, 6.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(
+    x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mean) / (var + eps).sqrt()
+    return normalized * weight + bias
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, classes) and integer labels."""
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def soft_cross_entropy(logits: Tensor, soft_targets: np.ndarray) -> Tensor:
+    """Cross-entropy against a probability distribution (distillation loss)."""
+    soft_targets = np.asarray(soft_targets, dtype=np.float32)
+    log_probs = log_softmax(logits, axis=-1)
+    return -(log_probs * Tensor(soft_targets)).sum(axis=-1).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    diff = prediction - (target if isinstance(target, Tensor) else Tensor(target))
+    return (diff * diff).mean()
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    logits = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

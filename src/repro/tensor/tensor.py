@@ -1,0 +1,543 @@
+"""Reverse-mode autodiff over NumPy arrays.
+
+The :class:`Tensor` class records a dynamic computation graph: every
+operation stores its parent tensors and a closure that accumulates gradients
+into them.  Calling :meth:`Tensor.backward` performs a topological sort and
+runs the closures in reverse order.
+
+Only float arrays participate in differentiation; integer tensors (used by
+the quantization kernels) can be wrapped but never require gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcasted operation."""
+    if grad.shape == shape:
+        return grad
+    # Sum out any leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype == np.float64:
+            array = array.astype(np.float32)
+        self.data: np.ndarray = array
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float32)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data, dtype=np.float32)
+        grad = np.asarray(grad, dtype=np.float32).reshape(self.data.shape)
+
+        # Topological order of the graph reachable from this tensor.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            if parent_grads is None:
+                continue
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = np.asarray(pgrad, dtype=np.float32)
+                parent._accumulate(pgrad)
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(grad, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(-grad, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no gradients)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor(self.data > other.data)
+
+    def __lt__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor(self.data < other.data)
+
+    def __ge__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor(self.data >= other.data)
+
+    def __le__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor(self.data <= other.data)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 2 and b.ndim == 2:
+                return (grad @ b.T, a.T @ grad)
+            # Batched matmul: contract over batch dims for each operand.
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ grad
+            return (
+                _unbroadcast(grad_a, a.shape),
+                _unbroadcast(grad_b, b.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad / self.data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * 0.5 / np.maximum(data, 1e-12),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * sign,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(grad, self.shape).copy(),)
+            grad_expanded = grad
+            if not keepdims:
+                grad_expanded = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad_expanded, self.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False, eps: float = 0.0) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        squared = centered * centered
+        return squared.mean(axis=axis, keepdims=keepdims) + eps
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float32)
+                mask /= mask.sum()
+                return (mask * grad,)
+            expanded = data if keepdims else np.expand_dims(data, axis=axis)
+            mask = (self.data == expanded).astype(np.float32)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            grad_expanded = grad if keepdims else np.expand_dims(grad, axis=axis)
+            return (mask * grad_expanded,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original_shape),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(original_shape, dtype=np.float32)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + size)
+            for (before, _after), size in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray):
+            return (grad[slices],)
+
+        return Tensor._make(data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+
+        def backward(grad: np.ndarray):
+            grads = []
+            start = 0
+            for size in sizes:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, start + size)
+                grads.append(grad[tuple(index)])
+                start += size
+            return tuple(grads)
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray):
+            return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(shape, rng: Optional[np.random.Generator] = None, scale: float = 1.0,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(
+            rng.normal(0.0, scale, size=shape).astype(np.float32),
+            requires_grad=requires_grad,
+        )

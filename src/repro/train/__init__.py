@@ -1,0 +1,15 @@
+"""Training infrastructure: optimizers, schedules, losses and loops."""
+
+from repro.train.optim import SGD, StepLR
+from repro.train.loop import TrainingConfig, evaluate_accuracy, train_classifier
+from repro.train.pretrain import get_pretrained, pretrain_model
+
+__all__ = [
+    "SGD",
+    "StepLR",
+    "TrainingConfig",
+    "evaluate_accuracy",
+    "get_pretrained",
+    "pretrain_model",
+    "train_classifier",
+]

@@ -1,0 +1,11 @@
+"""Shared utilities: seeding, configuration containers and logging."""
+
+from repro.utils.seeding import SeedSequenceFactory, set_global_seed, temp_seed
+from repro.utils.config import FrozenConfig
+
+__all__ = [
+    "FrozenConfig",
+    "SeedSequenceFactory",
+    "set_global_seed",
+    "temp_seed",
+]

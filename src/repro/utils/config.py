@@ -1,0 +1,52 @@
+"""Small immutable configuration container used across subsystems."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping
+
+
+class FrozenConfig(Mapping[str, Any]):
+    """An immutable, attribute-accessible mapping of configuration values.
+
+    The hardware models and the serving simulator take many scalar parameters
+    (clock rates, bandwidths, thresholds).  ``FrozenConfig`` keeps them
+    readable at call sites (``cfg.tensor_core_tops``) while guaranteeing a
+    configuration cannot be mutated after construction, which keeps cached
+    derived quantities valid.
+    """
+
+    def __init__(self, **values: Any) -> None:
+        object.__setattr__(self, "_values", dict(values))
+
+    def __getattr__(self, name: str) -> Any:
+        values: Dict[str, Any] = object.__getattribute__(self, "_values")
+        try:
+            return values[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("FrozenConfig is immutable")
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def replace(self, **overrides: Any) -> "FrozenConfig":
+        """Return a copy with ``overrides`` applied."""
+        merged = dict(self._values)
+        merged.update(overrides)
+        return FrozenConfig(**merged)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a plain mutable copy of the underlying values."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"FrozenConfig({inner})"

@@ -1,0 +1,130 @@
+"""Tests for the baseline quantization schemes (uniform, HAWQ, multi-precision)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.anyprecision import AnyPrecisionConfig, anyprecision_finetune
+from repro.baselines.hawq import hawq_layerwise_quantize, layer_sensitivities
+from repro.baselines.ptmq import ptmq_average_bit_assignment, ptmq_quantize
+from repro.baselines.robustquant import (
+    RobustQuantConfig,
+    evaluate_at_bits,
+    robustquant_finetune,
+)
+from repro.baselines.uniform import quantize_uniform, uniform_accuracy_sweep
+from repro.quant.qmodel import iter_quantized_layers, model_average_bits
+from repro.train.loop import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    """Trained MLP, dataset and calibration shared by the baseline tests."""
+    trained = request.getfixturevalue("trained_mlp")
+    dataset = request.getfixturevalue("mlp_dataset")
+    calibration = request.getfixturevalue("calibration_batch")
+    return trained, dataset, calibration
+
+
+class TestUniform:
+    def test_sweep_orders_bitwidths(self, setup):
+        model, dataset, calibration = setup
+        sweep = uniform_accuracy_sweep(model, dataset, calibration, bit_widths=(2, 4, 8))
+        assert set(sweep) == {2, 4, 8}
+        assert sweep[8] >= sweep[2] - 3.0
+        assert sweep[8] > 40.0
+
+    def test_quantize_uniform_first_last_protected(self, setup):
+        model, _, calibration = setup
+        batches = [calibration[:32]]
+        quantized = quantize_uniform(model, 4, batches)
+        layers = iter_quantized_layers(quantized)
+        assert layers[0][1].weight_bits == 8
+        assert layers[-1][1].weight_bits == 8
+
+
+class TestHawq:
+    def test_sensitivities_positive_per_layer(self, setup):
+        model, _, calibration = setup
+        sens = layer_sensitivities(model, calibration[:32])
+        assert len(sens) == 3
+        assert all(value >= 0 for value in sens.values())
+
+    def test_target_average_bits_reached(self, setup):
+        model, dataset, calibration = setup
+        result = hawq_layerwise_quantize(model, calibration[:32], target_average_bits=6.0)
+        assert result.average_bits() <= 8.0
+        assert set(result.layer_bits.values()) <= {4, 8}
+        # The middle layer (only flippable one here) went to 4-bit.
+        middle = list(result.layer_bits.values())[1]
+        assert middle == 4
+        acc = evaluate_accuracy(result.model, dataset)
+        assert acc > 30.0
+
+    def test_high_target_keeps_everything_8bit(self, setup):
+        model, _, calibration = setup
+        result = hawq_layerwise_quantize(model, calibration[:32], target_average_bits=8.0)
+        assert set(result.layer_bits.values()) == {8}
+
+
+class TestPtmq:
+    def test_scale_sets_per_bitwidth(self, setup):
+        model, dataset, calibration = setup
+        ptmq = ptmq_quantize(model, calibration, bit_choices=(4, 6, 8))
+        assert set(ptmq.scale_sets) == {4, 6, 8}
+        # Scales grow as bitwidth shrinks (same range, fewer levels).
+        name = next(iter(ptmq.scale_sets[4]))
+        assert ptmq.scale_sets[4][name]["weight"].scale.mean() > (
+            ptmq.scale_sets[8][name]["weight"].scale.mean()
+        )
+
+    def test_set_global_bits_switches_accuracy(self, setup):
+        model, dataset, calibration = setup
+        ptmq = ptmq_quantize(model, calibration, bit_choices=(4, 8))
+        ptmq.set_global_bits(8)
+        acc8 = ptmq.accuracy(dataset)
+        ptmq.set_global_bits(4)
+        acc4 = ptmq.accuracy(dataset)
+        assert acc8 >= acc4 - 3.0
+        assert ptmq.average_bits() == pytest.approx(4.0)
+
+    def test_uncalibrated_bitwidth_rejected(self, setup):
+        model, _, calibration = setup
+        ptmq = ptmq_quantize(model, calibration, bit_choices=(4, 8))
+        with pytest.raises(ValueError):
+            ptmq.set_global_bits(6)
+
+    def test_average_bit_assignment(self, setup):
+        model, _, calibration = setup
+        ptmq = ptmq_quantize(model, calibration, bit_choices=(4, 8))
+        assignment = ptmq_average_bit_assignment(ptmq, target_average_bits=6.0)
+        ptmq.set_layer_bits(assignment)
+        assert ptmq.average_bits() <= 8.0
+        layers = list(assignment)
+        # First/last protected.
+        assert assignment[layers[0]] == 8
+        assert assignment[layers[-1]] == 8
+
+
+class TestRobustQuantAndAnyPrecision:
+    def test_robustquant_usable_at_multiple_bitwidths(self, setup):
+        model, dataset, calibration = setup
+        robust = robustquant_finetune(
+            model, dataset, calibration,
+            RobustQuantConfig(epochs=1, bit_choices=(4, 8), learning_rate=5e-3),
+        )
+        acc8 = evaluate_at_bits(robust, dataset, 8, calibration)
+        acc4 = evaluate_at_bits(robust, dataset, 4, calibration)
+        assert acc8 > 40.0
+        assert acc4 > 25.0  # above chance after robustness training
+
+    def test_anyprecision_runs_and_keeps_accuracy(self, setup):
+        model, dataset, calibration = setup
+        any_precision = anyprecision_finetune(
+            model, dataset, calibration,
+            AnyPrecisionConfig(epochs=1, bit_choices=(4, 8), learning_rate=5e-3),
+        )
+        acc = evaluate_accuracy(any_precision, dataset)
+        assert acc > 40.0
+        assert model_average_bits(any_precision) == pytest.approx(8.0)

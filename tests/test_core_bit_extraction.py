@@ -1,0 +1,208 @@
+"""Tests for effective bit extraction (Section 4.1), including property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bit_extraction import (
+    BitExtractionPlan,
+    dynamic_extraction_shift,
+    extraction_shift,
+    lower_bits,
+    lowering_error,
+    raise_bits,
+    saturation_fraction,
+    unused_bits,
+    used_bits,
+)
+from repro.quant.quantizers import lower_bitwidth_naive
+
+
+class TestUsedUnusedBits:
+    def test_used_bits_values(self):
+        np.testing.assert_array_equal(used_bits(np.array([0, 1, 2, 3, 7, 8, 127])),
+                                      [0, 1, 2, 2, 3, 4, 7])
+
+    def test_unused_bits_8bit(self):
+        np.testing.assert_array_equal(
+            unused_bits(np.array([127, 63, 31, 15, 1]), bits=8), [0, 1, 2, 3, 6]
+        )
+
+    def test_unused_bits_handles_negative_maxima(self):
+        np.testing.assert_array_equal(unused_bits(np.array([-31]), bits=8), [2])
+
+
+class TestExtractionShift:
+    def test_paper_example_positive(self):
+        """Paper Figure 3: value 29 in a channel with max < 32.
+
+        Naive 4-bit lowering keeps the top bits (shift 4): 29 -> 2 -> 32,
+        a ~10% error.  FlexiQ extracts below the highest used bit (shift 2):
+        29 -> 7 -> 28, under 4% error.
+        """
+        channel_max = 31
+        shift = extraction_shift(np.array([channel_max]), 8, 4)[0]
+        assert shift == 2
+        value = np.array([29])
+        naive = lower_bitwidth_naive(value, 8, 4)[0] * 16
+        flexi = raise_bits(lower_bits(value, shift, 4), shift)[0]
+        assert abs(naive - 29) / 29 > 0.09
+        assert abs(flexi - 29) / 29 < 0.04
+
+    def test_paper_example_negative(self):
+        """Figure 3 right: -9 in a channel whose |min| < 16 keeps shift 1."""
+        shift = extraction_shift(np.array([15]), 8, 4)[0]
+        assert shift == 1
+        flexi = raise_bits(lower_bits(np.array([-9]), shift, 4), shift)[0]
+        assert abs(flexi - (-9)) <= 1
+
+    def test_full_range_channel_equals_naive(self):
+        assert extraction_shift(np.array([127]), 8, 4)[0] == 4
+
+    def test_tiny_channel_clamps_to_zero(self):
+        assert extraction_shift(np.array([3]), 8, 4)[0] == 0
+
+    def test_never_exceeds_naive_shift(self):
+        shifts = extraction_shift(np.arange(0, 128), 8, 4)
+        assert shifts.max() <= 4
+        assert shifts.min() >= 0
+
+    def test_monotone_in_channel_max(self):
+        shifts = extraction_shift(np.array([1, 7, 15, 31, 63, 127]), 8, 4)
+        assert np.all(np.diff(shifts) >= 0)
+
+
+class TestLowerRaise:
+    def test_lower_bits_range(self):
+        values = np.arange(-128, 128)
+        lowered = lower_bits(values, 4, 4)
+        assert lowered.min() >= -8 and lowered.max() <= 7
+
+    def test_zero_shift_is_exact_for_small_values(self):
+        values = np.arange(-8, 8)
+        np.testing.assert_array_equal(lower_bits(values, 0, 4), values)
+        np.testing.assert_array_equal(raise_bits(lower_bits(values, 0, 4), 0), values)
+
+    def test_lowering_error_zero_when_exact(self):
+        values = np.array([-8, 0, 4, 7]) * 4  # multiples of 2**shift
+        np.testing.assert_array_equal(lowering_error(values, 2, 4), 0)
+
+    def test_saturation_fraction(self):
+        values = np.array([1, 2, 3, 100])
+        assert saturation_fraction(values, 0, 4) == pytest.approx(0.25)
+        assert saturation_fraction(np.array([]), 0, 4) == 0.0
+
+    def test_per_channel_shift_broadcast(self):
+        values = np.array([[60, 60], [60, 60]])
+        shifts = np.array([0, 3])
+        lowered = lower_bits(values, shifts[None, :], 4)
+        np.testing.assert_array_equal(lowered[:, 0], [7, 7])      # saturates
+        np.testing.assert_array_equal(lowered[:, 1], [8 - 1, 7])  # 60/8 = 7.5 -> 7 hmm rounds to 8? clipped
+
+
+class TestDynamicShift:
+    def test_matches_static_for_known_max(self):
+        values = np.array([[3, 30], [-20, 5]])
+        shifts = dynamic_extraction_shift(values, axis=0)
+        np.testing.assert_array_equal(shifts, extraction_shift(np.array([20, 30]), 8, 4))
+
+    def test_global_reduction(self):
+        assert dynamic_extraction_shift(np.array([1, 2, 3])).item() == 0
+
+    def test_dynamic_avoids_saturation(self):
+        """When runtime values exceed the calibrated range, the dynamic shift
+        widens the window and removes saturation."""
+        calibrated_max = 15          # static shift = 1
+        runtime_values = np.array([40, -35, 12])
+        static = extraction_shift(np.array([calibrated_max]), 8, 4)[0]
+        dynamic = dynamic_extraction_shift(runtime_values)
+        assert saturation_fraction(runtime_values, static, 4) > 0
+        assert saturation_fraction(runtime_values, dynamic, 4) == 0
+
+
+class TestBitExtractionPlan:
+    def test_naive_plan(self):
+        plan = BitExtractionPlan.naive(6)
+        assert plan.num_channels == 6
+        np.testing.assert_array_equal(plan.weight_shift, 4)
+        np.testing.assert_array_equal(plan.act_shift, 4)
+
+    def test_from_channel_maxima(self):
+        plan = BitExtractionPlan.from_channel_maxima(
+            np.array([127, 31]), np.array([63, 7])
+        )
+        np.testing.assert_array_equal(plan.weight_shift, [4, 2])
+        np.testing.assert_array_equal(plan.act_shift, [3, 0])
+
+    def test_effective_bits(self):
+        plan = BitExtractionPlan.from_channel_maxima(np.array([127, 31, 7]), np.array([127, 127, 127]))
+        np.testing.assert_array_equal(plan.effective_weight_bits(), [4, 6, 8])
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            BitExtractionPlan(weight_shift=np.zeros(3), act_shift=np.zeros(4))
+
+    def test_group_reduce_takes_max(self):
+        plan = BitExtractionPlan(
+            weight_shift=np.array([0, 3, 1, 2]), act_shift=np.array([1, 1, 4, 0])
+        )
+        grouped = plan.group_reduce(2)
+        np.testing.assert_array_equal(grouped.weight_shift, [3, 3, 2, 2])
+        np.testing.assert_array_equal(grouped.act_shift, [1, 1, 4, 4])
+
+    def test_group_reduce_invalid(self):
+        plan = BitExtractionPlan.naive(6)
+        with pytest.raises(ValueError):
+            plan.group_reduce(4)
+        with pytest.raises(ValueError):
+            plan.group_reduce(0)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+class TestBitExtractionProperties:
+    @given(
+        max_abs=st.integers(min_value=1, max_value=127),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_flexiq_never_worse_than_naive_within_range(self, max_abs, seed):
+        """For values inside the calibrated range, FlexiQ's extraction error is
+        never larger than the naive top-bit extraction error (the Figure 1
+        claim)."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-max_abs, max_abs + 1, size=64)
+        shift = extraction_shift(np.array([max_abs]), 8, 4)[0]
+        flexi_err = lowering_error(values, shift, 4).mean()
+        naive = lower_bitwidth_naive(values, 8, 4).astype(np.int64) * 16
+        naive_err = np.abs(values - naive).mean()
+        assert flexi_err <= naive_err + 1e-9
+
+    @given(
+        max_abs=st.integers(min_value=1, max_value=127),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_no_saturation_within_calibrated_range(self, max_abs, seed):
+        """The static shift chosen from a channel max never saturates values
+        that stay within that max."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-max_abs, max_abs + 1, size=64)
+        shift = extraction_shift(np.array([max_abs]), 8, 4)[0]
+        assert saturation_fraction(values, shift, 4) <= 1.0 / 16 + 1e-9 or shift == 0
+        # Reconstruction error is bounded by half the extraction step.
+        err = lowering_error(values, shift, 4)
+        assert err.max() <= (2 ** shift) / 2 + (2 ** shift) * 0.5 + 1e-9
+
+    @given(shift=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_raise_lower_roundtrip_error_bound(self, shift):
+        values = np.arange(-120, 121)
+        lowered = lower_bits(values, shift, 4)
+        reconstructed = raise_bits(lowered, shift)
+        in_window = np.abs(values) <= 7 * (2 ** shift) + (2 ** shift) / 2
+        errors = np.abs(values - reconstructed)[in_window]
+        assert errors.max() <= 2 ** shift / 2 + 1e-9

@@ -1,0 +1,99 @@
+"""Tests for the latency profile and the adaptive ratio controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    AdaptiveRatioController,
+    LatencyProfile,
+    build_profile_from_latency_fn,
+)
+
+
+def make_profile():
+    """Synthetic profile: latency grows with rate, shrinks with ratio."""
+    rates = [100, 500, 1000, 2000, 3000]
+
+    def latency(ratio, rate):
+        capacity = 1000.0 * (1.0 + ratio)  # higher ratio -> more capacity
+        utilisation = min(rate / capacity, 0.999)
+        return 0.01 / (1.0 - utilisation)
+
+    return build_profile_from_latency_fn(rates, [0.0, 0.25, 0.5, 0.75, 1.0], latency)
+
+
+class TestLatencyProfile:
+    def test_build_from_fn(self):
+        profile = make_profile()
+        assert profile.ratios == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert profile.latency(0.0, 100) < profile.latency(0.0, 2000)
+
+    def test_interpolation_between_rates(self):
+        profile = make_profile()
+        mid = profile.latency(0.5, 750)
+        assert profile.latency(0.5, 500) < mid < profile.latency(0.5, 1000)
+
+    def test_higher_ratio_lower_latency(self):
+        profile = make_profile()
+        assert profile.latency(1.0, 1000) < profile.latency(0.0, 1000)
+
+    def test_clamps_beyond_profiled_range(self):
+        profile = make_profile()
+        assert profile.latency(0.0, 10_000) == profile.latency(0.0, 3000)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyProfile(rates=np.array([1, 2]), latency_by_ratio={0.0: np.array([1.0])})
+
+
+class TestAdaptiveRatioController:
+    def test_steps_up_under_load(self):
+        controller = AdaptiveRatioController(make_profile(), latency_threshold=0.05)
+        ratio = controller.update(2500)
+        assert ratio > 0.0
+        # Repeated overload keeps stepping up to the maximum.
+        for _ in range(5):
+            ratio = controller.update(2900)
+        assert ratio == 1.0
+
+    def test_steps_down_when_load_subsides(self):
+        controller = AdaptiveRatioController(make_profile(), latency_threshold=0.05)
+        for _ in range(5):
+            controller.update(2900)
+        assert controller.current_ratio == 1.0
+        for _ in range(5):
+            controller.update(100)
+        assert controller.current_ratio < 1.0
+
+    def test_step_up_only_never_decreases(self):
+        controller = AdaptiveRatioController(
+            make_profile(), latency_threshold=0.05, step_up_only=True
+        )
+        for _ in range(5):
+            controller.update(2900)
+        for _ in range(5):
+            controller.update(100)
+        assert controller.current_ratio == 1.0
+
+    def test_stays_low_under_light_load(self):
+        controller = AdaptiveRatioController(make_profile(), latency_threshold=0.05)
+        for _ in range(10):
+            controller.update(100)
+        assert controller.current_ratio == 0.0
+
+    def test_history_and_average_ratio(self):
+        controller = AdaptiveRatioController(make_profile(), latency_threshold=0.05)
+        controller.update(100)
+        controller.update(2900)
+        assert len(controller.history) == 2
+        assert 0.0 <= controller.average_ratio() <= 1.0
+        assert {"rate", "ratio", "profiled_latency"} <= set(controller.history[0])
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveRatioController(
+                LatencyProfile(rates=np.array([1.0]), latency_by_ratio={}),
+                latency_threshold=0.1,
+            )

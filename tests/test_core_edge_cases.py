@@ -1,0 +1,178 @@
+"""Edge-case and failure-injection tests for the FlexiQ core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FlexiQConfig, FlexiQPipeline
+from repro.core.bit_extraction import BitExtractionPlan, extraction_shift, lower_bits
+from repro.core.layout import ChannelLayout, build_layout_plan
+from repro.core.runtime import FlexiQLinear
+from repro.core.selection import (
+    ChannelSelection,
+    SelectionConfig,
+    build_layer_groups,
+    greedy_selection,
+)
+from repro.core.scoring import ChannelScore
+from repro.nn.layers import Linear
+from repro.quant.qmodules import QuantLinear
+from repro.tensor import Tensor
+from tests.conftest import TinyMLP
+
+
+class TestExtremeBitwidths:
+    def test_all_zero_channel(self):
+        """A channel whose calibration max is zero gets shift 0 and no error
+        on zero inputs."""
+        shift = extraction_shift(np.array([0]), 8, 4)[0]
+        assert shift == 0
+        assert lower_bits(np.zeros(4), shift, 4).sum() == 0
+
+    def test_two_bit_lowering(self):
+        values = np.array([3, -4, 1, 0])
+        lowered = lower_bits(values, 0, 2)
+        assert lowered.min() >= -2 and lowered.max() <= 1
+
+    def test_plan_with_single_channel(self):
+        plan = BitExtractionPlan.from_channel_maxima(np.array([5]), np.array([90]))
+        assert plan.num_channels == 1
+        grouped = plan.group_reduce(1)
+        np.testing.assert_array_equal(grouped.weight_shift, plan.weight_shift)
+
+
+class TestDegenerateSelections:
+    def test_zero_ratio_selection_is_empty(self):
+        scores = {
+            "x": ChannelScore("x", np.arange(8, dtype=float) + 1, np.ones(8), np.ones(8))
+        }
+        selection = greedy_selection(scores, 0.0, SelectionConfig(group_size=4))
+        assert selection.total_selected() == 0
+        assert selection.achieved_ratio() == 0.0
+
+    def test_full_ratio_selects_everything(self):
+        scores = {
+            "x": ChannelScore("x", np.arange(8, dtype=float) + 1, np.ones(8), np.ones(8))
+        }
+        selection = greedy_selection(scores, 1.0, SelectionConfig(group_size=4))
+        assert selection.achieved_ratio() == 1.0
+
+    def test_single_group_layer(self):
+        scores = {
+            "x": ChannelScore("x", np.ones(4), np.ones(4), np.ones(4)),
+            "y": ChannelScore("y", np.ones(16), np.ones(16), np.ones(16)),
+        }
+        selection = greedy_selection(scores, 0.5, SelectionConfig(group_size=4))
+        assert 0.3 <= selection.achieved_ratio() <= 0.7
+
+    def test_selection_with_base_already_at_target(self):
+        scores = {
+            "x": ChannelScore("x", np.arange(16, dtype=float) + 1, np.ones(16), np.ones(16))
+        }
+        config = SelectionConfig(group_size=4)
+        half = greedy_selection(scores, 0.5, config)
+        again = greedy_selection(scores, 0.5, config, base=half)
+        assert again.is_superset_of(half)
+        assert again.total_selected() == half.total_selected()
+
+
+class TestLayoutEdgeCases:
+    def test_single_ratio_plan(self):
+        scores = {
+            "x": ChannelScore("x", np.arange(8, dtype=float) + 1, np.ones(8), np.ones(8))
+        }
+        selection = greedy_selection(scores, 0.5, SelectionConfig(group_size=4))
+        plan = build_layout_plan({0.5: selection})
+        layout = plan.layout_for("x")
+        assert layout.boundaries == {0.5: 4}
+        assert layout.boundary_for(0.49) == 0
+
+    def test_layout_with_nothing_selected(self):
+        scores = {
+            "x": ChannelScore("x", np.ones(8), np.ones(8), np.ones(8))
+        }
+        selection = greedy_selection(scores, 0.0, SelectionConfig(group_size=4))
+        plan = build_layout_plan({0.0: selection})
+        assert plan.layout_for("x").boundary_for(1.0) == 0
+
+
+class TestRuntimeEdgeCases:
+    def _layer(self, in_features=8):
+        source = Linear(in_features, 4, rng=np.random.default_rng(0))
+        layer = FlexiQLinear(source)
+        data = np.random.default_rng(1).normal(size=(16, in_features)).astype(np.float32)
+        layer(Tensor(data))
+        layer.freeze()
+        return layer, data
+
+    def test_unconfigured_layer_behaves_as_int8(self):
+        layer, data = self._layer()
+        source_like = QuantLinear(Linear(8, 4, rng=np.random.default_rng(0)))
+        # An unconfigured FlexiQ layer (no layout) multiplies exactly like the
+        # plain int8 kernel.
+        out = layer(Tensor(data[:4]))
+        assert out.shape == (4, 4)
+        assert layer.max_4bit_ch == 0
+
+    def test_boundary_beyond_configured_layout_rejected(self):
+        layer, _ = self._layer()
+        layout = ChannelLayout("x", np.arange(8), {1.0: 8})
+        plan = BitExtractionPlan.naive(8)
+        layer.configure(layout, plan)
+        with pytest.raises(ValueError):
+            layer.set_boundary(9)
+
+    def test_reconfiguration_resets_boundary(self):
+        layer, _ = self._layer()
+        layout = ChannelLayout("x", np.arange(8), {1.0: 8})
+        layer.configure(layout, BitExtractionPlan.naive(8))
+        layer.set_boundary(8)
+        layer.configure(layout, BitExtractionPlan.naive(8))
+        assert layer.max_4bit_ch == 0
+
+
+class TestPipelineEdgeCases:
+    def test_single_ratio_pipeline(self, trained_mlp, calibration_batch):
+        config = FlexiQConfig(
+            ratios=(1.0,), group_size=4, selection="greedy",
+            selection_config=SelectionConfig(group_size=4),
+        )
+        runtime = FlexiQPipeline(trained_mlp, calibration_batch, config).run()
+        assert runtime.available_ratios == [0.0, 1.0]
+
+    def test_tiny_calibration_set(self, trained_mlp, mlp_dataset):
+        config = FlexiQConfig(
+            ratios=(0.5,), group_size=4, selection="greedy",
+            selection_config=SelectionConfig(group_size=4),
+            fitness_samples=4,
+        )
+        calibration = mlp_dataset.train_images[:4]
+        runtime = FlexiQPipeline(trained_mlp, calibration, config).run()
+        runtime.set_ratio(0.5)
+        out = runtime(Tensor(mlp_dataset.test_images[:2]))
+        assert np.isfinite(out.data).all()
+
+    def test_model_with_only_two_quantizable_layers(self, mlp_dataset):
+        """With two layers both are first/last (8-bit) and nothing is selectable;
+        the pipeline must still produce a working runtime."""
+        from repro.nn.module import Module
+
+        class TwoLayer(Module):
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.a = Linear(48, 16, rng=rng)
+                self.b = Linear(16, 4, rng=rng)
+
+            def forward(self, x):
+                return self.b(self.a(x.reshape(x.shape[0], -1)).relu())
+
+        config = FlexiQConfig(
+            ratios=(0.5,), group_size=4, selection="greedy",
+            selection_config=SelectionConfig(group_size=4),
+        )
+        runtime = FlexiQPipeline(TwoLayer(), mlp_dataset.train_images[:16], config).run()
+        runtime.set_ratio(0.5)
+        out = runtime(Tensor(mlp_dataset.test_images[:2]))
+        assert out.shape == (2, 4)

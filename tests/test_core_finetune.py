@@ -1,0 +1,98 @@
+"""Tests for the specialized dual-bitwidth finetuning loss (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import (
+    FinetuneConfig,
+    dual_bitwidth_loss,
+    finetune_quantized_model,
+    refresh_quantization,
+    set_qat_bits,
+)
+from repro.quant.qmodel import iter_quantized_layers, quantize_model
+from repro.tensor import Tensor, no_grad
+from repro.train.loop import evaluate_accuracy
+
+
+@pytest.fixture()
+def quantized_mlp(trained_mlp, calibration_batch):
+    batches = [calibration_batch[i : i + 16] for i in range(0, 48, 16)]
+    return quantize_model(trained_mlp, weight_bits=8, calibration_batches=batches)
+
+
+def softmax(logits):
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class TestQatSwitch:
+    def test_set_qat_bits_toggles_all_layers(self, quantized_mlp):
+        set_qat_bits(quantized_mlp, 4)
+        assert all(layer.qat_bits == 4 for _, layer in iter_quantized_layers(quantized_mlp))
+        set_qat_bits(quantized_mlp, None)
+        assert all(layer.qat_bits is None for _, layer in iter_quantized_layers(quantized_mlp))
+
+
+class TestDualLoss:
+    def test_loss_is_differentiable_scalar(self, quantized_mlp, trained_mlp, mlp_dataset):
+        images = mlp_dataset.train_images[:16]
+        labels = mlp_dataset.train_labels[:16]
+        with no_grad():
+            soft = softmax(trained_mlp(Tensor(images)).data)
+        loss = dual_bitwidth_loss(quantized_mlp, images, labels, soft, FinetuneConfig())
+        assert loss.data.size == 1
+        loss.backward()
+        grads = [p.grad for p in quantized_mlp.parameters() if p.grad is not None]
+        assert grads, "dual loss must produce gradients"
+        # QAT mode must be switched off afterwards.
+        assert all(layer.qat_bits is None for _, layer in iter_quantized_layers(quantized_mlp))
+
+    def test_lambda_weighting(self, quantized_mlp, trained_mlp, mlp_dataset):
+        images = mlp_dataset.train_images[:8]
+        labels = mlp_dataset.train_labels[:8]
+        with no_grad():
+            soft = softmax(trained_mlp(Tensor(images)).data)
+        low_only = dual_bitwidth_loss(
+            quantized_mlp, images, labels, soft, FinetuneConfig(lambda_low=1.0)
+        ).item()
+        high_only = dual_bitwidth_loss(
+            quantized_mlp, images, labels, soft, FinetuneConfig(lambda_low=0.0)
+        ).item()
+        # Low-bit forward pass is less accurate, so its loss is larger.
+        assert low_only > high_only
+
+
+class TestFinetuning:
+    def test_finetuning_improves_low_bit_accuracy(self, trained_mlp, calibration_batch, mlp_dataset):
+        batches = [calibration_batch[i : i + 16] for i in range(0, 48, 16)]
+        quantized = quantize_model(trained_mlp, weight_bits=4, calibration_batches=batches)
+        before = evaluate_accuracy(quantized, mlp_dataset)
+        losses = finetune_quantized_model(
+            quantized, trained_mlp, mlp_dataset,
+            FinetuneConfig(epochs=2, learning_rate=5e-3),
+        )
+        refresh_quantization(quantized, batches)
+        after = evaluate_accuracy(quantized, mlp_dataset)
+        assert len(losses) == 2
+        assert after >= before - 2.0  # must not regress materially
+        # High-bitwidth (here: the 8-bit first/last layers plus QAT-trained
+        # weights) stays functional.
+        assert after > 25.0
+
+    def test_refresh_quantization_recalibrates(self, quantized_mlp, calibration_batch):
+        # Perturb weights as finetuning would, then refresh.
+        for _, layer in iter_quantized_layers(quantized_mlp):
+            layer.weight.data = layer.weight.data * 1.5
+        old_scales = {
+            name: layer.weight_qparams.scale.copy()
+            for name, layer in iter_quantized_layers(quantized_mlp)
+        }
+        batches = [calibration_batch[i : i + 16] for i in range(0, 48, 16)]
+        refresh_quantization(quantized_mlp, batches)
+        for name, layer in iter_quantized_layers(quantized_mlp):
+            assert not layer.calibrating
+            assert not np.allclose(layer.weight_qparams.scale, old_scales[name])

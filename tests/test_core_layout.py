@@ -1,0 +1,120 @@
+"""Tests for the post-processing layout optimization (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.layout import (
+    ChannelLayout,
+    LayoutPlan,
+    build_channel_layout,
+    build_layout_plan,
+    reorder_weight_features,
+)
+from repro.core.selection import ChannelSelection, SelectionConfig, greedy_selection
+from repro.tensor import Tensor, functional as F
+from tests.test_core_selection import LAYERS, make_scores
+
+
+def nested_selections(ratios=(0.25, 0.5, 0.75, 1.0), seed=0):
+    scores = make_scores(LAYERS, seed=seed)
+    config = SelectionConfig(group_size=4)
+    selections = {}
+    base = None
+    for ratio in ratios:
+        base = greedy_selection(scores, ratio, config, base=base)
+        selections[ratio] = base
+    return selections
+
+
+class TestChannelLayout:
+    def test_order_is_permutation(self):
+        selections = nested_selections()
+        layout = build_channel_layout("layer_b", selections)
+        assert sorted(layout.order.tolist()) == list(range(32))
+        inverse = layout.inverse_order()
+        np.testing.assert_array_equal(layout.order[inverse], np.arange(32))
+
+    def test_boundaries_monotone_in_ratio(self):
+        selections = nested_selections()
+        layout = build_channel_layout("layer_a", selections)
+        values = [layout.boundaries[r] for r in sorted(layout.boundaries)]
+        assert all(b <= a for b, a in zip(values, values[1:]))
+        assert values[-1] == 16  # 100% ratio covers every channel
+
+    def test_prefix_matches_selection(self):
+        """The first boundary(r) channels in layout order are exactly the
+        channels selected at ratio r."""
+        selections = nested_selections()
+        layout = build_channel_layout("layer_c", selections)
+        for ratio, selection in selections.items():
+            mask = selection.channel_mask("layer_c")
+            boundary = layout.boundaries[ratio]
+            prefix_channels = set(layout.order[:boundary].tolist())
+            assert prefix_channels == set(np.nonzero(mask)[0].tolist())
+
+    def test_boundary_for_interpolates_down(self):
+        layout = ChannelLayout("x", np.arange(8), {0.5: 4, 1.0: 8})
+        assert layout.boundary_for(0.0) == 0
+        assert layout.boundary_for(0.5) == 4
+        assert layout.boundary_for(0.7) == 4
+        assert layout.boundary_for(1.0) == 8
+
+
+class TestLayoutPlan:
+    def test_build_plan_covers_all_layers(self):
+        selections = nested_selections()
+        plan = build_layout_plan(selections)
+        assert set(plan.layouts) == set(LAYERS)
+        assert plan.ratios == [0.25, 0.5, 0.75, 1.0]
+
+    def test_non_nested_selections_rejected(self):
+        scores = make_scores(LAYERS, seed=1)
+        config = SelectionConfig(group_size=4)
+        # Independently built selections are generally not nested.
+        a = greedy_selection(scores, 0.25, config)
+        b = greedy_selection(make_scores(LAYERS, seed=99), 0.5, config)
+        nested = b.is_superset_of(a)
+        if not nested:
+            with pytest.raises(ValueError):
+                build_layout_plan({0.25: a, 0.5: b})
+
+    def test_empty_selections_rejected(self):
+        with pytest.raises(ValueError):
+            build_layout_plan({})
+
+    def test_residual_reorder_bookkeeping(self):
+        selections = nested_selections()
+        plan = build_layout_plan(selections, residual_layers=["layer_a", "layer_b"])
+        assert plan.num_residual_reorders() == 2
+
+
+class TestWeightReordering:
+    def test_linear_permutation_preserves_output(self):
+        """Permuting features of both input and weight leaves the output unchanged
+        (step 1/2 of the paper's layout procedure)."""
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(6, 10)).astype(np.float32)
+        x = rng.normal(size=(3, 10)).astype(np.float32)
+        order = rng.permutation(10)
+        reordered = reorder_weight_features(weight, order, "linear")
+        original = x @ weight.T
+        permuted = x[:, order] @ reordered.T
+        np.testing.assert_allclose(original, permuted, atol=1e-5)
+
+    def test_conv_permutation_preserves_output(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(4, 6, 3, 3)).astype(np.float32)
+        x = rng.normal(size=(2, 6, 5, 5)).astype(np.float32)
+        order = rng.permutation(6)
+        reordered = reorder_weight_features(weight, order, "conv")
+        original = F.conv2d(Tensor(x), Tensor(weight), None, padding=1).data
+        permuted = F.conv2d(
+            Tensor(x[:, order]), Tensor(reordered), None, padding=1
+        ).data
+        np.testing.assert_allclose(original, permuted, atol=1e-4)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            reorder_weight_features(np.zeros((2, 2)), np.arange(2), "rnn")

@@ -1,0 +1,164 @@
+"""Integration tests for the end-to-end FlexiQ pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FlexiQConfig, FlexiQPipeline
+from repro.core.pipeline import evaluate_ratio_sweep
+from repro.core.runtime import FlexiQConv2d, FlexiQLinear
+from repro.core.selection import SelectionConfig
+from repro.quant.qmodel import iter_quantized_layers
+from repro.tensor import Tensor, no_grad
+from repro.train.loop import evaluate_accuracy
+
+
+class TestPipelineStructure:
+    def test_layers_replaced_with_flexiq_variants(self, flexiq_runtime):
+        layers = iter_quantized_layers(flexiq_runtime.model)
+        assert len(layers) == 3
+        assert all(isinstance(layer, (FlexiQLinear, FlexiQConv2d)) for _, layer in layers)
+
+    def test_first_last_layers_not_selectable(self, flexiq_runtime):
+        configured = set(flexiq_runtime.layout_plan.layouts)
+        names = [name for name, _ in iter_quantized_layers(flexiq_runtime.model)]
+        assert names[0] not in configured
+        assert names[-1] not in configured
+        assert set(names[1:-1]) == configured
+
+    def test_selections_are_nested_across_ratios(self, flexiq_runtime):
+        selections = flexiq_runtime.selections
+        ratios = sorted(selections)
+        for low, high in zip(ratios, ratios[1:]):
+            assert selections[high].is_superset_of(selections[low])
+
+    def test_selection_achieves_requested_ratios(self, flexiq_runtime):
+        for ratio, selection in flexiq_runtime.selections.items():
+            assert selection.achieved_ratio() == pytest.approx(ratio, abs=0.12)
+
+    def test_boundaries_are_group_aligned_prefixes(self, flexiq_runtime):
+        for name, layout in flexiq_runtime.layout_plan.layouts.items():
+            boundaries = [layout.boundaries[r] for r in sorted(layout.boundaries)]
+            assert all(b1 <= b2 for b1, b2 in zip(boundaries, boundaries[1:]))
+            assert boundaries[-1] <= layout.num_channels
+
+
+class TestPipelineAccuracy:
+    def test_ratio_zero_matches_int8_accuracy(self, flexiq_runtime, mlp_dataset, trained_mlp,
+                                               calibration_batch):
+        from repro.baselines.uniform import quantize_uniform
+
+        batches = [calibration_batch[i : i + 16] for i in range(0, 48, 16)]
+        int8 = quantize_uniform(trained_mlp, 8, batches)
+        flexiq_runtime.set_ratio(0.0)
+        acc_flexi = evaluate_accuracy(flexiq_runtime.model, mlp_dataset)
+        acc_int8 = evaluate_accuracy(int8, mlp_dataset)
+        assert acc_flexi == pytest.approx(acc_int8, abs=3.0)
+
+    def test_accuracy_degrades_gracefully_with_ratio(self, flexiq_runtime, mlp_dataset):
+        sweep = evaluate_ratio_sweep(flexiq_runtime, mlp_dataset)
+        accuracies = [sweep[r] for r in sorted(sweep)]
+        # 8-bit accuracy is the best; 100% 4-bit the worst (allow small noise).
+        assert max(accuracies) <= accuracies[0] + 3.0
+        assert min(accuracies) >= accuracies[-1] - 3.0
+        # Everything stays far above chance (25% for 4 classes).
+        assert all(acc > 40.0 for acc in accuracies)
+
+    def test_flexiq_full_4bit_not_worse_than_uniform_int4(
+        self, flexiq_runtime, mlp_dataset, trained_mlp, calibration_batch
+    ):
+        from repro.baselines.uniform import quantize_uniform
+
+        batches = [calibration_batch[i : i + 16] for i in range(0, 48, 16)]
+        int4 = quantize_uniform(trained_mlp, 4, batches)
+        acc_int4 = evaluate_accuracy(int4, mlp_dataset)
+        flexiq_runtime.set_ratio(1.0)
+        acc_flexi = evaluate_accuracy(flexiq_runtime.model, mlp_dataset)
+        flexiq_runtime.set_ratio(0.0)
+        assert acc_flexi >= acc_int4 - 3.0
+
+
+class TestPipelineOptions:
+    def _run(self, model, calibration, **overrides):
+        defaults = dict(
+            ratios=(0.5, 1.0), group_size=4, selection="greedy",
+            selection_config=SelectionConfig(group_size=4),
+        )
+        defaults.update(overrides)
+        return FlexiQPipeline(model, calibration, FlexiQConfig(**defaults)).run()
+
+    def test_random_and_evolutionary_strategies(self, trained_mlp, calibration_batch):
+        random_rt = self._run(trained_mlp, calibration_batch, selection="random")
+        evo_rt = self._run(
+            trained_mlp, calibration_batch, selection="evolutionary",
+            selection_config=SelectionConfig(group_size=4, population_size=4, generations=2),
+        )
+        assert 1.0 in random_rt.layout_plan.ratios
+        assert 1.0 in evo_rt.layout_plan.ratios
+
+    def test_unknown_strategy_raises(self, trained_mlp, calibration_batch):
+        with pytest.raises(ValueError):
+            self._run(trained_mlp, calibration_batch, selection="simulated-annealing")
+
+    def test_naive_lowering_ablation_not_better(self, trained_mlp, calibration_batch, mlp_dataset):
+        flexi = self._run(trained_mlp, calibration_batch)
+        naive = self._run(trained_mlp, calibration_batch, naive_lowering=True)
+        flexi.set_ratio(1.0)
+        naive.set_ratio(1.0)
+        acc_flexi = evaluate_accuracy(flexi.model, mlp_dataset)
+        acc_naive = evaluate_accuracy(naive.model, mlp_dataset)
+        assert acc_flexi >= acc_naive - 2.0
+
+    def test_dynamic_extraction_flag_propagates(self, trained_mlp, calibration_batch):
+        runtime = self._run(trained_mlp, calibration_batch, dynamic_extraction=True)
+        assert all(
+            layer.dynamic_extract
+            for name, layer in runtime.flexiq_layers()
+            if name in runtime.layout_plan.layouts
+        )
+
+    def test_fixed_high_fraction(self, trained_mlp, calibration_batch):
+        runtime = self._run(
+            trained_mlp, calibration_batch,
+            selection="evolutionary",
+            selection_config=SelectionConfig(group_size=4, population_size=4, generations=2),
+            fixed_high_fraction=0.3, ratios=(0.5,),
+        )
+        assert runtime.selections[0.5].achieved_ratio() == pytest.approx(0.5, abs=0.15)
+
+    def test_finetune_requires_dataset(self, trained_mlp, calibration_batch):
+        with pytest.raises(ValueError):
+            self._run(trained_mlp, calibration_batch, finetune=True)
+
+    def test_finetune_path_runs(self, trained_mlp, calibration_batch, mlp_dataset):
+        from repro.core.finetune import FinetuneConfig
+
+        config = FlexiQConfig(
+            ratios=(1.0,), group_size=4, selection="greedy",
+            selection_config=SelectionConfig(group_size=4),
+            finetune=True,
+            finetune_config=FinetuneConfig(epochs=1, learning_rate=5e-3),
+        )
+        pipeline = FlexiQPipeline(
+            trained_mlp, calibration_batch, config, finetune_dataset=mlp_dataset
+        )
+        runtime = pipeline.run()
+        runtime.set_ratio(1.0)
+        acc = evaluate_accuracy(runtime.model, mlp_dataset)
+        assert acc > 40.0
+
+
+class TestConvPipeline:
+    def test_conv_model_sweep(self, flexiq_conv_runtime, tiny_dataset):
+        sweep = evaluate_ratio_sweep(flexiq_conv_runtime, tiny_dataset)
+        assert set(sweep) == {0.0, 0.5, 1.0}
+        assert all(np.isfinite(list(sweep.values())))
+        assert sweep[0.0] >= sweep[1.0] - 3.0
+
+    def test_conv_runtime_forward_shapes(self, flexiq_conv_runtime, tiny_dataset):
+        flexiq_conv_runtime.set_ratio(0.5)
+        with no_grad():
+            out = flexiq_conv_runtime(Tensor(tiny_dataset.test_images[:4]))
+        flexiq_conv_runtime.set_ratio(0.0)
+        assert out.shape == (4, 4)

@@ -1,0 +1,246 @@
+"""Tests for the FlexiQ mixed-precision runtime layers and model wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bit_extraction import BitExtractionPlan
+from repro.core.layout import ChannelLayout
+from repro.core.runtime import FlexiQConv2d, FlexiQLinear, FlexiQModel
+from repro.hardware.kernels import mixed_gemm_reference
+from repro.nn.layers import Conv2d, Linear
+from repro.quant.qmodules import QuantConv2d, QuantLinear
+from repro.quant.quantizers import quantize
+from repro.tensor import Tensor, no_grad
+
+
+def calibrated_flexiq_linear(in_f=16, out_f=8, seed=0):
+    rng = np.random.default_rng(seed)
+    source = Linear(in_f, out_f, rng=rng)
+    # Give feature channels different dynamic ranges so extraction matters.
+    scales = np.repeat([0.1, 0.4, 1.0, 2.0], in_f // 4).astype(np.float32)
+    source.weight.data = source.weight.data * scales[None, :]
+    layer = FlexiQLinear(source)
+    data = (rng.normal(size=(64, in_f)) * scales[None, :]).astype(np.float32)
+    layer(Tensor(data))
+    layer.freeze()
+    return source, layer, data
+
+
+def identity_layout(channels):
+    return ChannelLayout("layer", np.arange(channels), {1.0: channels})
+
+
+def plan_for(layer):
+    q_weight = quantize(layer.weight.data, layer.weight_qparams)
+    weight_max = np.abs(q_weight.reshape(q_weight.shape[0], layer.feature_channels, -1)).max(axis=(0, 2))
+    act_range = layer.input_channel_range()
+    act_max = np.clip(np.round(act_range.max_abs / layer.act_qparams.scale), 0, 127)
+    return BitExtractionPlan.from_channel_maxima(weight_max, act_max)
+
+
+class TestConfiguration:
+    def test_configure_permutes_plan(self):
+        _, layer, _ = calibrated_flexiq_linear()
+        plan = plan_for(layer)
+        order = np.arange(16)[::-1].copy()
+        layout = ChannelLayout("layer", order, {1.0: 16})
+        layer.configure(layout, plan, group_size=1)
+        np.testing.assert_array_equal(layer.extraction_plan.weight_shift, plan.weight_shift[order])
+
+    def test_configure_wrong_channel_count_raises(self):
+        _, layer, _ = calibrated_flexiq_linear()
+        with pytest.raises(ValueError):
+            layer.configure(identity_layout(8), plan_for(layer))
+        with pytest.raises(ValueError):
+            layer.configure(identity_layout(16), BitExtractionPlan.naive(8))
+
+    def test_set_boundary_bounds(self):
+        _, layer, _ = calibrated_flexiq_linear()
+        layer.configure(identity_layout(16), plan_for(layer))
+        with pytest.raises(ValueError):
+            layer.set_boundary(17)
+        with pytest.raises(RuntimeError):
+            FlexiQLinear(Linear(4, 4, rng=np.random.default_rng(0))).set_boundary(1)
+
+    def test_set_ratio_uses_layout_boundaries(self):
+        _, layer, _ = calibrated_flexiq_linear()
+        layout = ChannelLayout("layer", np.arange(16), {0.5: 8, 1.0: 16})
+        layer.configure(layout, plan_for(layer))
+        layer.set_ratio(0.5)
+        assert layer.max_4bit_ch == 8
+        layer.set_ratio(1.0)
+        assert layer.max_4bit_ch == 16
+        layer.set_ratio(0.0)
+        assert layer.max_4bit_ch == 0
+
+    def test_effective_weight_bits(self):
+        _, layer, _ = calibrated_flexiq_linear()
+        layer.configure(identity_layout(16), plan_for(layer))
+        layer.set_boundary(8)
+        assert layer.effective_weight_bits() == pytest.approx(6.0)
+        assert layer.current_4bit_fraction() == pytest.approx(0.5)
+
+
+class TestMixedPrecisionNumerics:
+    def test_boundary_zero_matches_plain_int8_layer(self):
+        source, layer, data = calibrated_flexiq_linear()
+        reference = QuantLinear(source)
+        reference(Tensor(data))
+        reference.freeze()
+        layer.configure(identity_layout(16), plan_for(layer))
+        layer.set_boundary(0)
+        x = Tensor(data[:8])
+        np.testing.assert_allclose(layer(x).data, reference(x).data, atol=1e-5)
+
+    def test_matches_hardware_kernel_reference(self):
+        _, layer, data = calibrated_flexiq_linear()
+        plan = plan_for(layer)
+        layer.configure(identity_layout(16), plan, group_size=1)
+        layer.set_boundary(8)
+        x = data[:4]
+        q_x = quantize(x, layer.act_qparams)
+        q_w = quantize(layer.weight.data, layer.weight_qparams)
+        acc = mixed_gemm_reference(
+            q_x, q_w, boundary=8,
+            act_shift=layer.extraction_plan.act_shift,
+            weight_shift=layer.extraction_plan.weight_shift,
+        )
+        expected = acc * (layer.act_qparams.scale * layer.weight_qparams.scale)[None, :]
+        expected = expected + layer.bias.data[None, :]
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, atol=1e-4, rtol=1e-4)
+
+    def test_full_4bit_with_extraction_beats_naive_lowering(self):
+        source, layer, data = calibrated_flexiq_linear(seed=3)
+        x = Tensor(data[:16])
+        with no_grad():
+            reference = source(x).data
+        plan = plan_for(layer)
+        layer.configure(identity_layout(16), plan, group_size=1)
+        layer.set_boundary(16)
+        err_flexi = np.abs(layer(x).data - reference).mean()
+        layer.configure(identity_layout(16), BitExtractionPlan.naive(16), group_size=1)
+        layer.set_boundary(16)
+        err_naive = np.abs(layer(x).data - reference).mean()
+        assert err_flexi <= err_naive + 1e-6
+
+    def test_error_monotone_in_ratio(self):
+        source, layer, data = calibrated_flexiq_linear(seed=5)
+        layer.configure(identity_layout(16), plan_for(layer), group_size=4)
+        x = Tensor(data[:16])
+        with no_grad():
+            reference = source(x).data
+        errors = []
+        for boundary in (0, 8, 16):
+            layer.set_boundary(boundary)
+            errors.append(float(np.abs(layer(x).data - reference).mean()))
+        assert errors[0] <= errors[1] + 1e-6 <= errors[2] + 2e-6
+
+    def test_dynamic_extraction_helps_saturated_channels(self):
+        """Channels whose runtime range exceeds the calibrated range saturate the
+        static extraction window; dynamic extraction widens it (Section 8.6)."""
+        _, layer, data = calibrated_flexiq_linear(seed=7)
+        layer.configure(identity_layout(16), plan_for(layer), group_size=4)
+        layer.set_boundary(16)
+        # Blow up only the small-range channels (first quarter) so their values
+        # stay inside the per-tensor 8-bit range but exceed their own
+        # calibration-time maxima.
+        x_big = data[:16].copy()
+        x_big[:, :4] *= 6.0
+        with no_grad():
+            reference = Tensor(x_big).matmul(Tensor(layer.weight.data.T)).data + layer.bias.data
+        static_err = np.abs(layer(Tensor(x_big)).data - reference).mean()
+        layer.set_dynamic_extraction(True)
+        dynamic_err = np.abs(layer(Tensor(x_big)).data - reference).mean()
+        layer.set_dynamic_extraction(False)
+        assert dynamic_err < static_err
+
+    def test_permuted_layout_equivalent_to_identity_at_full_ratio(self):
+        _, layer, data = calibrated_flexiq_linear(seed=9)
+        plan = plan_for(layer)
+        x = Tensor(data[:8])
+        layer.configure(identity_layout(16), plan, group_size=1)
+        layer.set_boundary(16)
+        identity_out = layer(x).data.copy()
+        order = np.random.default_rng(0).permutation(16)
+        layer.configure(ChannelLayout("layer", order, {1.0: 16}), plan, group_size=1)
+        layer.set_boundary(16)
+        permuted_out = layer(x).data
+        np.testing.assert_allclose(identity_out, permuted_out, atol=1e-5)
+
+
+class TestFlexiQConv:
+    def _calibrated_conv(self, seed=0):
+        rng = np.random.default_rng(seed)
+        source = Conv2d(8, 6, 3, padding=1, rng=rng)
+        scales = np.repeat([0.1, 0.5, 1.0, 2.0], 2).astype(np.float32)
+        source.weight.data = source.weight.data * scales[None, :, None, None]
+        layer = FlexiQConv2d(source)
+        data = (rng.normal(size=(16, 8, 6, 6)) * scales[None, :, None, None]).astype(np.float32)
+        layer(Tensor(data))
+        layer.freeze()
+        return source, layer, data
+
+    def test_boundary_zero_matches_quantconv(self):
+        source, layer, data = self._calibrated_conv()
+        reference = QuantConv2d(source)
+        reference(Tensor(data))
+        reference.freeze()
+        plan_w = np.abs(quantize(layer.weight.data, layer.weight_qparams)).reshape(6, 8, -1).max(axis=(0, 2))
+        act_max = np.clip(np.round(layer.input_channel_range().max_abs / layer.act_qparams.scale), 0, 127)
+        layer.configure(identity_layout(8), BitExtractionPlan.from_channel_maxima(plan_w, act_max))
+        layer.set_boundary(0)
+        x = Tensor(data[:4])
+        np.testing.assert_allclose(layer(x).data, reference(x).data, atol=1e-4)
+
+    def test_error_increases_with_ratio_but_stays_bounded(self):
+        source, layer, data = self._calibrated_conv(seed=2)
+        plan_w = np.abs(quantize(layer.weight.data, layer.weight_qparams)).reshape(6, 8, -1).max(axis=(0, 2))
+        act_max = np.clip(np.round(layer.input_channel_range().max_abs / layer.act_qparams.scale), 0, 127)
+        layer.configure(identity_layout(8), BitExtractionPlan.from_channel_maxima(plan_w, act_max), group_size=4)
+        x = Tensor(data[:4])
+        with no_grad():
+            reference = source(x).data
+        layer.set_boundary(0)
+        err_8 = np.abs(layer(x).data - reference).mean()
+        layer.set_boundary(8)
+        err_4 = np.abs(layer(x).data - reference).mean()
+        assert err_8 <= err_4
+        assert err_4 < 0.2 * np.abs(reference).mean() + 1e-3
+
+
+class TestFlexiQModelWrapper:
+    def test_available_ratios_include_zero(self, flexiq_runtime):
+        assert flexiq_runtime.available_ratios[0] == 0.0
+        assert 1.0 in flexiq_runtime.available_ratios
+
+    def test_set_ratio_updates_all_layers(self, flexiq_runtime):
+        flexiq_runtime.set_ratio(1.0)
+        fractions = flexiq_runtime.per_layer_4bit_fraction()
+        configured = [
+            fraction for name, fraction in fractions.items()
+            if name in flexiq_runtime.layout_plan.layouts
+        ]
+        assert all(fraction == pytest.approx(1.0) for fraction in configured)
+        flexiq_runtime.set_ratio(0.0)
+        assert all(
+            fraction == 0.0 for fraction in flexiq_runtime.per_layer_4bit_fraction().values()
+        )
+
+    def test_average_weight_bits_decreases_with_ratio(self, flexiq_runtime):
+        flexiq_runtime.set_ratio(0.0)
+        bits_high = flexiq_runtime.average_weight_bits()
+        flexiq_runtime.set_ratio(1.0)
+        bits_low = flexiq_runtime.average_weight_bits()
+        flexiq_runtime.set_ratio(0.0)
+        assert bits_low < bits_high <= 8.0
+
+    def test_forward_works_at_every_ratio(self, flexiq_runtime, calibration_batch):
+        x = Tensor(calibration_batch[:4])
+        for ratio in flexiq_runtime.available_ratios:
+            flexiq_runtime.set_ratio(ratio)
+            out = flexiq_runtime(x)
+            assert out.shape == (4, 4)
+            assert np.isfinite(out.data).all()
+        flexiq_runtime.set_ratio(0.0)

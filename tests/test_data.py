@@ -1,0 +1,190 @@
+"""Tests for synthetic datasets, calibration sampling, text corpus and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import CalibrationSampler
+from repro.data.synthetic import (
+    DATASET_REGISTRY,
+    DatasetConfig,
+    SyntheticImageDataset,
+    build_dataset,
+)
+from repro.data.text import SyntheticTextCorpus, TextCorpusConfig
+from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+
+
+class TestSyntheticImages:
+    def test_registry_entries(self):
+        assert {"synthetic-cifar10", "synthetic-cifar100", "synthetic-imagenet"}.issubset(
+            DATASET_REGISTRY
+        )
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            build_dataset("synthetic-nothing")
+
+    def test_shapes_and_dtypes(self):
+        ds = SyntheticImageDataset(
+            DatasetConfig(name="t", num_classes=5, image_size=8, train_size=64, test_size=32)
+        )
+        assert ds.train_images.shape == (64, 3, 8, 8)
+        assert ds.test_images.shape == (32, 3, 8, 8)
+        assert ds.train_images.dtype == np.float32
+        assert ds.train_labels.dtype == np.int64
+        assert ds.image_shape == (3, 8, 8)
+
+    def test_labels_in_range_and_all_classes_present(self):
+        ds = build_dataset("synthetic-cifar10")
+        assert ds.train_labels.min() >= 0
+        assert ds.train_labels.max() < ds.num_classes
+        assert len(np.unique(ds.train_labels)) == ds.num_classes
+
+    def test_deterministic_given_seed(self):
+        cfg = DatasetConfig(name="d", num_classes=3, image_size=8, train_size=32, test_size=16)
+        a = SyntheticImageDataset(cfg)
+        b = SyntheticImageDataset(cfg)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seed_differs(self):
+        a = SyntheticImageDataset(DatasetConfig(name="a", seed=1, train_size=32, test_size=16))
+        b = SyntheticImageDataset(DatasetConfig(name="b", seed=2, train_size=32, test_size=16))
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_normalised_statistics(self):
+        ds = build_dataset("synthetic-imagenet")
+        assert abs(float(ds.train_images.mean())) < 0.1
+        assert 0.7 < float(ds.train_images.std()) < 1.3
+
+    def test_class_structure_is_learnable_signal(self):
+        """Per-class means must be more separated than the noise floor."""
+        ds = build_dataset("synthetic-cifar10")
+        means = np.stack(
+            [ds.train_images[ds.train_labels == c].mean(axis=0) for c in range(ds.num_classes)]
+        )
+        between_class = np.linalg.norm(means[0] - means[1])
+        within_class = float(
+            np.linalg.norm(
+                ds.train_images[ds.train_labels == 0][0]
+                - ds.train_images[ds.train_labels == 0][1]
+            )
+        )
+        assert between_class > 0.1 * within_class
+
+    def test_train_batches_cover_all_and_shuffle(self):
+        ds = build_dataset("synthetic-cifar10")
+        batches = list(ds.train_batches(100, rng=np.random.default_rng(0)))
+        total = sum(len(labels) for _, labels in batches)
+        assert total == len(ds.train_labels)
+        first_pass = list(ds.train_batches(100, rng=np.random.default_rng(1)))[0][1]
+        second_pass = list(ds.train_batches(100, rng=np.random.default_rng(2)))[0][1]
+        assert not np.array_equal(first_pass, second_pass)
+
+    def test_test_batches_in_order(self):
+        ds = build_dataset("synthetic-cifar10")
+        images, labels = next(iter(ds.test_batches(16)))
+        np.testing.assert_array_equal(labels, ds.test_labels[:16])
+
+    def test_calibration_batch(self):
+        ds = build_dataset("synthetic-cifar10")
+        assert ds.calibration_batch(10).shape[0] == 10
+
+    def test_build_dataset_cached(self):
+        assert build_dataset("synthetic-cifar10") is build_dataset("synthetic-cifar10")
+        assert build_dataset("synthetic-cifar10", cached=False) is not build_dataset(
+            "synthetic-cifar10"
+        )
+
+
+class TestCalibrationSampler:
+    def test_sample_size_and_determinism(self):
+        images = np.random.default_rng(0).normal(size=(100, 3, 4, 4)).astype(np.float32)
+        a = CalibrationSampler(images, size=32, seed=1)
+        b = CalibrationSampler(images, size=32, seed=1)
+        assert len(a) == 32
+        np.testing.assert_array_equal(a.all(), b.all())
+
+    def test_batches_and_limit(self):
+        images = np.zeros((50, 3, 4, 4), dtype=np.float32)
+        sampler = CalibrationSampler(images, size=40, batch_size=16)
+        batches = list(sampler.batches())
+        assert [len(b) for b in batches] == [16, 16, 8]
+        assert sum(len(b) for b in sampler.batches(limit=20)) == 20
+
+    def test_size_larger_than_data_clamped(self):
+        images = np.zeros((10, 3, 4, 4), dtype=np.float32)
+        assert len(CalibrationSampler(images, size=100)) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CalibrationSampler(np.zeros((4, 1)), size=0)
+
+
+class TestTextCorpus:
+    def test_token_ranges_and_split_sizes(self):
+        corpus = SyntheticTextCorpus(TextCorpusConfig(vocab_size=16, train_tokens=2000,
+                                                      test_tokens=400, seq_len=8))
+        assert corpus.train_tokens.max() < 16
+        assert corpus.train_sequences().shape == (250, 8)
+        assert corpus.test_sequences().shape == (50, 8)
+
+    def test_deterministic(self):
+        a = SyntheticTextCorpus(TextCorpusConfig(seed=9))
+        b = SyntheticTextCorpus(TextCorpusConfig(seed=9))
+        np.testing.assert_array_equal(a.train_tokens, b.train_tokens)
+
+    def test_corpus_has_structure(self):
+        """Phrase reuse must make bigram distribution far from uniform."""
+        corpus = SyntheticTextCorpus(TextCorpusConfig(vocab_size=32, train_tokens=8000))
+        tokens = corpus.train_tokens
+        pairs = tokens[:-1] * 32 + tokens[1:]
+        counts = np.bincount(pairs, minlength=32 * 32)
+        top_mass = np.sort(counts)[-32:].sum() / counts.sum()
+        assert top_mass > 0.15  # uniform would give ~0.03
+
+    def test_train_batches(self):
+        corpus = SyntheticTextCorpus(TextCorpusConfig(train_tokens=2000, seq_len=10))
+        batches = corpus.train_batches(batch_size=16, rng=np.random.default_rng(0))
+        assert all(batch.shape[1] == 10 for batch in batches)
+
+
+class TestTraces:
+    def test_poisson_rate_matches(self):
+        trace = PoissonTrace(rate_per_second=200, duration=20, seed=0).generate()
+        assert trace.average_rate == pytest.approx(200, rel=0.15)
+        assert trace.arrival_times.max() < 20
+
+    def test_poisson_sorted_and_deterministic(self):
+        a = PoissonTrace(100, 5, seed=2).generate()
+        b = PoissonTrace(100, 5, seed=2).generate()
+        assert np.all(np.diff(a.arrival_times) >= 0)
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+
+    def test_poisson_invalid_args(self):
+        with pytest.raises(ValueError):
+            PoissonTrace(0, 10)
+        with pytest.raises(ValueError):
+            PoissonTrace(10, 0)
+
+    def test_rate_in_window(self):
+        trace = RequestTrace(arrival_times=np.array([0.1, 0.2, 0.3, 1.5]), duration=2.0)
+        assert trace.rate_in_window(0.0, 1.0) == pytest.approx(3.0)
+        assert trace.rate_in_window(1.0, 2.0) == pytest.approx(1.0)
+        assert trace.rate_in_window(1.0, 1.0) == 0.0
+
+    def test_fluctuating_trace_peak_ratio(self):
+        gen = FluctuatingTrace(min_rate=100, peak_ratio=3.0, duration=60, num_phases=12, seed=1)
+        rates = gen.phase_rates()
+        assert max(rates) / min(rates) == pytest.approx(3.0, rel=0.35)
+        trace = gen.generate()
+        assert trace.average_rate > 100
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+
+    def test_fluctuating_rate_varies_over_time(self):
+        trace = FluctuatingTrace(min_rate=200, peak_ratio=3.0, duration=30, seed=2).generate()
+        window = 30 / 10
+        rates = [trace.rate_in_window(i * window, (i + 1) * window) for i in range(10)]
+        assert max(rates) > 1.8 * min(rates)

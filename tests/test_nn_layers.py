@@ -1,0 +1,160 @@
+"""Tests for the core layers (Linear, Conv2d, normalisation, pooling, dropout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape_and_math(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        layer.weight.data = np.array([[1, 0, 0], [0, 2, 0]], dtype=np.float32)
+        layer.bias.data = np.array([1, -1], dtype=np.float32)
+        out = layer(Tensor(np.array([[1.0, 2.0, 3.0]], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [[2.0, 3.0]])
+
+    def test_no_bias(self):
+        layer = Linear(4, 4, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert layer.num_parameters() == 16
+
+    def test_feature_channels_is_input_dim(self):
+        assert Linear(7, 3, rng=np.random.default_rng(0)).feature_channels == 7
+
+    def test_batched_token_input(self):
+        layer = Linear(8, 5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((2, 6, 8), dtype=np.float32)))
+        assert out.shape == (2, 6, 5)
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((4, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (2, 3)
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_feature_channels(self):
+        assert Conv2d(5, 8, 3, rng=np.random.default_rng(0)).feature_channels == 5
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, 3, groups=2)
+
+    def test_depthwise_parameter_count(self):
+        conv = Conv2d(8, 8, 3, groups=8, bias=False, rng=np.random.default_rng(0))
+        assert conv.weight.size == 8 * 1 * 9
+
+    def test_identity_kernel(self):
+        conv = Conv2d(1, 1, 1, bias=False, rng=np.random.default_rng(0))
+        conv.weight.data[:] = 1.0
+        x = np.random.default_rng(0).normal(size=(1, 1, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(conv(Tensor(x)).data, x, atol=1e-6)
+
+
+class TestNormalisation:
+    def test_batchnorm_train_normalises(self):
+        bn = BatchNorm2d(4)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-3
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_batchnorm_updates_running_stats(self):
+        bn = BatchNorm2d(2)
+        before = bn.running_mean.copy()
+        x = Tensor(np.random.default_rng(0).normal(5, 1, size=(4, 2, 3, 3)).astype(np.float32))
+        bn(x)
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        bn.update_buffer("running_mean", np.array([1.0, 2.0], dtype=np.float32))
+        bn.update_buffer("running_var", np.array([4.0, 9.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.ones((1, 2, 1, 1), dtype=np.float32))
+        out = bn(x).data.reshape(-1)
+        np.testing.assert_allclose(out, [(1 - 1) / 2, (1 - 2) / 3], atol=1e-3)
+
+    def test_layernorm_normalises_last_dim(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(1).normal(4, 3, size=(5, 16)).astype(np.float32))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_layernorm_affine_params_used(self):
+        ln = LayerNorm(4)
+        ln.weight.data[:] = 2.0
+        ln.bias.data[:] = 1.0
+        x = Tensor(np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32))
+        out = ln(x).data
+        assert out.mean() == pytest.approx(1.0, abs=1e-4)
+
+
+class TestSimpleLayers:
+    def test_relu_and_relu6(self):
+        x = Tensor(np.array([-2.0, 3.0, 8.0], dtype=np.float32))
+        np.testing.assert_allclose(ReLU()(x).data, [0, 3, 8])
+        np.testing.assert_allclose(ReLU6()(x).data, [0, 3, 6])
+
+    def test_gelu_monotone_for_positive(self):
+        x = Tensor(np.linspace(0.5, 3, 6).astype(np.float32))
+        out = GELU()(x).data
+        assert (np.diff(out) > 0).all()
+
+    def test_identity(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert Identity()(x) is x
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4, 4), dtype=np.float32))
+        assert Flatten()(x).shape == (2, 48)
+
+    def test_pooling_layers(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        assert AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 1)
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5)
+        drop.train()
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = drop(x).data
+        # Kept entries are scaled by 1/(1-p) = 2.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

@@ -1,0 +1,117 @@
+"""Property-based tests tying the runtime layers, kernels and selection together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bit_extraction import extraction_shift
+from repro.core.layout import ChannelLayout, build_layout_plan
+from repro.core.selection import SelectionConfig, greedy_selection, random_selection
+from repro.hardware.kernels import (
+    MixedPrecisionGemm,
+    mixed_gemm_reference,
+    uniform_gemm_reference,
+)
+from tests.test_core_selection import make_scores
+
+
+def random_operands(seed, rows, out, channels):
+    rng = np.random.default_rng(seed)
+    channel_max = rng.integers(1, 128, size=channels)
+    q_x = np.stack([rng.integers(-m, m + 1, size=rows) for m in channel_max], axis=1)
+    q_w = np.stack([rng.integers(-m, m + 1, size=out) for m in channel_max], axis=1)
+    return q_x, q_w, channel_max
+
+
+class TestMixedGemmProperties:
+    @given(
+        seed=st.integers(0, 5000),
+        rows=st.integers(1, 8),
+        out=st.integers(1, 8),
+        groups=st.integers(1, 6),
+        boundary_groups=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_group_kernel_matches_reference(self, seed, rows, out, groups, boundary_groups):
+        """For group-uniform shifts the grouped hardware kernel and the flat
+        reference formulation agree exactly, for any boundary position."""
+        group_size = 4
+        channels = groups * group_size
+        boundary = min(boundary_groups, groups) * group_size
+        q_x, q_w, channel_max = random_operands(seed, rows, out, channels)
+        shifts = extraction_shift(channel_max, 8, 4)
+        group_shifts = shifts.reshape(-1, group_size).max(axis=1).repeat(group_size)
+
+        kernel = MixedPrecisionGemm(group_size=group_size)
+        acc = kernel(q_x, q_w, boundary, group_shifts, group_shifts)
+        reference = mixed_gemm_reference(q_x, q_w, boundary, group_shifts, group_shifts)
+        np.testing.assert_array_equal(acc, reference)
+
+    @given(seed=st.integers(0, 5000), rows=st.integers(1, 6), out=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_zero_is_exact_int8(self, seed, rows, out):
+        q_x, q_w, channel_max = random_operands(seed, rows, out, 16)
+        shifts = extraction_shift(channel_max, 8, 4)
+        acc = mixed_gemm_reference(q_x, q_w, 0, shifts, shifts)
+        np.testing.assert_array_equal(acc, uniform_gemm_reference(q_x, q_w, 8))
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_error_bounded_by_extraction_step(self, seed):
+        """The deviation of the mixed result from exact INT8 is bounded by the
+        worst-case per-channel rounding error times the operand magnitudes."""
+        rows, out, channels = 4, 4, 32
+        q_x, q_w, channel_max = random_operands(seed, rows, out, channels)
+        shifts = extraction_shift(channel_max, 8, 4)
+        exact = uniform_gemm_reference(q_x, q_w, 8)
+        mixed = mixed_gemm_reference(q_x, q_w, channels, shifts, shifts)
+        # Each channel contributes at most (err_x*|w| + err_w*|x| + err_x*err_w)
+        # where err <= 2**shift / 2 per operand.
+        step = np.power(2.0, shifts) / 2.0
+        bound = np.zeros((rows, out))
+        for c in range(channels):
+            bound += (
+                step[c] * np.abs(q_w[:, c])[None, :]
+                + step[c] * np.abs(q_x[:, c])[:, None]
+                + step[c] ** 2
+            )
+        assert (np.abs(exact - mixed) <= bound + 1e-6).all()
+
+
+class TestSelectionLayoutProperties:
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_layout_prefix_property_for_random_nested_selections(self, seed):
+        """For any nested chain of selections, the layout order puts exactly the
+        ratio-r channels in the first boundary(r) positions."""
+        scores = make_scores({"a": 16, "b": 24}, seed=seed)
+        config = SelectionConfig(group_size=4)
+        selections = {}
+        base = None
+        for ratio in (0.25, 0.5, 1.0):
+            base = (
+                greedy_selection(scores, ratio, config, base=base)
+                if seed % 2
+                else random_selection(scores, ratio, config, base=base, seed=seed)
+            )
+            selections[ratio] = base
+        plan = build_layout_plan(selections)
+        for name in ("a", "b"):
+            layout = plan.layout_for(name)
+            assert sorted(layout.order.tolist()) == list(range(layout.num_channels))
+            for ratio, selection in selections.items():
+                prefix = set(layout.order[: layout.boundaries[ratio]].tolist())
+                assert prefix == set(np.nonzero(selection.channel_mask(name))[0].tolist())
+
+    @given(seed=st.integers(0, 2000), ratio=st.sampled_from([0.25, 0.5, 0.75]))
+    @settings(max_examples=25, deadline=None)
+    def test_boundary_for_never_exceeds_configured(self, seed, ratio):
+        scores = make_scores({"a": 16}, seed=seed)
+        selection = greedy_selection(scores, ratio, SelectionConfig(group_size=4))
+        plan = build_layout_plan({ratio: selection})
+        layout = plan.layout_for("a")
+        assert layout.boundary_for(ratio - 0.01) <= layout.boundaries[ratio]
+        assert layout.boundary_for(1.0) == layout.boundaries[ratio]
+        assert layout.boundary_for(0.0) == 0

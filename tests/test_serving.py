@@ -1,0 +1,161 @@
+"""Tests for the serving simulator, metrics and adaptive ratio control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import AdaptiveRatioController, build_profile_from_latency_fn
+from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+from repro.serving.adaptation import AdaptiveServingSimulator
+from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.simulator import BatchingConfig, ServiceTimeModel, ServingSimulator
+
+
+@pytest.fixture(scope="module")
+def service_model():
+    return ServiceTimeModel("vit_base", gpu="a6000", anchor_batches=(1, 16, 64, 128))
+
+
+@pytest.fixture(scope="module")
+def simulator(service_model):
+    return ServingSimulator(service_model, BatchingConfig(max_batch=128))
+
+
+class TestMetrics:
+    def test_percentiles(self):
+        values = np.arange(1, 101) / 1000.0
+        p = latency_percentiles(values, percentiles=(50, 90))
+        assert p["p50"] == pytest.approx(0.0505, abs=1e-3)
+        assert p["p90"] == pytest.approx(0.0901, abs=1e-3)
+
+    def test_empty_sample(self):
+        assert np.isnan(latency_percentiles([])["p50"])
+        assert np.isnan(summarize_latencies([])["median"])
+
+    def test_summary_keys(self):
+        summary = summarize_latencies([0.01, 0.02, 0.03])
+        assert {"median", "p90", "p99", "mean", "max", "count"} <= set(summary)
+        assert summary["count"] == 3
+
+
+class TestServiceTimeModel:
+    def test_monotone_in_batch_size(self, service_model):
+        small = service_model.batch_latency(8, "int8")
+        large = service_model.batch_latency(64, "int8")
+        assert small < large
+
+    def test_interpolates_between_anchors(self, service_model):
+        mid = service_model.batch_latency(40, "int8")
+        assert service_model.batch_latency(16, "int8") < mid < service_model.batch_latency(64, "int8")
+
+    def test_mode_ordering(self, service_model):
+        batch = 32
+        int8 = service_model.batch_latency(batch, "int8")
+        int4 = service_model.batch_latency(batch, "int4")
+        flexi_half = service_model.batch_latency(batch, "flexiq", ratio=0.5)
+        assert int4 < flexi_half < int8
+
+    def test_zero_batch(self, service_model):
+        assert service_model.batch_latency(0, "int8") == 0.0
+
+    def test_caching_returns_same_values(self, service_model):
+        a = service_model.batch_latency(32, "flexiq", 0.5)
+        b = service_model.batch_latency(32, "flexiq", 0.5)
+        assert a == b
+
+
+class TestServingSimulator:
+    def test_latency_at_least_service_time(self, simulator, service_model):
+        trace = PoissonTrace(100, duration=3.0, seed=0).generate()
+        result = simulator.run(trace, "int8")
+        min_service = service_model.batch_latency(1, "int8")
+        assert result.latencies.min() >= min_service * 0.99
+        assert len(result.latencies) == len(trace)
+
+    def test_latency_grows_with_request_rate(self, simulator):
+        results = simulator.latency_vs_rate([200, 2000], "int8", duration=3.0)
+        assert results[2000.0].median_latency > results[200.0].median_latency
+
+    def test_int8_saturates_before_int4(self, simulator):
+        """The Figure 8 effect: at high rates INT8 queues blow up, INT4 holds."""
+        trace = PoissonTrace(2500, duration=4.0, seed=1).generate()
+        int8 = simulator.run(trace, "int8")
+        int4 = simulator.run(trace, "int4")
+        assert int8.median_latency > 3 * int4.median_latency
+
+    def test_flexiq_ratio_improves_latency_under_load(self, simulator):
+        trace = PoissonTrace(2200, duration=4.0, seed=2).generate()
+        low = simulator.run(trace, "flexiq", ratio=0.25)
+        high = simulator.run(trace, "flexiq", ratio=1.0)
+        assert high.median_latency < low.median_latency
+
+    def test_batch_cap_respected(self, service_model):
+        simulator = ServingSimulator(service_model, BatchingConfig(max_batch=16))
+        trace = PoissonTrace(2000, duration=2.0, seed=3).generate()
+        result = simulator.run(trace, "int4")
+        assert max(result.batch_sizes) <= 16
+
+    def test_drop_after_discards_stale_requests(self, service_model):
+        simulator = ServingSimulator(
+            service_model, BatchingConfig(max_batch=8, drop_after=0.05)
+        )
+        trace = PoissonTrace(3000, duration=2.0, seed=4).generate()
+        result = simulator.run(trace, "int8")
+        assert result.dropped > 0
+        assert len(result.latencies) + result.dropped == len(trace)
+
+    def test_throughput_reported(self, simulator):
+        trace = PoissonTrace(500, duration=3.0, seed=5).generate()
+        result = simulator.run(trace, "int8")
+        assert result.throughput == pytest.approx(len(trace) / trace.duration, rel=1e-6)
+
+    def test_ratio_schedule_used(self, simulator, service_model):
+        trace = PoissonTrace(1500, duration=3.0, seed=6).generate()
+        always_full = simulator.run(trace, "flexiq", ratio_schedule=lambda t: 1.0)
+        always_high_precision = simulator.run(trace, "flexiq", ratio_schedule=lambda t: 0.0)
+        assert always_full.median_latency < always_high_precision.median_latency
+
+    def test_summary_consistent(self, simulator):
+        trace = PoissonTrace(300, duration=2.0, seed=7).generate()
+        result = simulator.run(trace, "int8")
+        summary = result.summary()
+        assert summary["median"] == pytest.approx(result.median_latency)
+        assert summary["p90"] == pytest.approx(result.p90_latency)
+
+
+class TestAdaptiveServing:
+    def _controller(self, simulator, threshold=0.05):
+        rates = [200, 600, 1000, 1600, 2200, 2800]
+
+        def latency_fn(ratio, rate):
+            trace = PoissonTrace(max(rate, 1), duration=2.0, seed=11).generate()
+            return simulator.run(trace, "flexiq", ratio=ratio).median_latency
+
+        profile = build_profile_from_latency_fn(rates, [0.0, 0.25, 0.5, 0.75, 1.0], latency_fn)
+        return AdaptiveRatioController(profile, latency_threshold=threshold)
+
+    def test_adaptive_raises_ratio_at_peak_and_tracks_latency(self, simulator, service_model):
+        controller = self._controller(simulator)
+        adaptive = AdaptiveServingSimulator(service_model, controller, control_window=1.0)
+        trace = FluctuatingTrace(min_rate=800, peak_ratio=3.0, duration=20.0, seed=5).generate()
+        result = adaptive.run(
+            trace, accuracy_by_ratio={0.0: 84.7, 0.25: 84.6, 0.5: 84.5, 0.75: 84.4, 1.0: 83.8}
+        )
+        # The controller must have used higher ratios during the peak.
+        assert result.average_ratio > 0.0
+        ratios_used = {entry["ratio"] for entry in result.ratio_timeline}
+        assert len(ratios_used) > 1
+        # Effective accuracy sits between the 100% 4-bit and 8-bit accuracies.
+        assert 83.8 <= result.effective_accuracy <= 84.7
+        # Latency stays far below a fixed INT8 deployment at the same trace.
+        int8 = ServingSimulator(service_model, BatchingConfig(max_batch=128)).run(trace, "int8")
+        assert result.median_latency < int8.median_latency
+
+    def test_without_accuracy_table(self, simulator, service_model):
+        controller = self._controller(simulator)
+        adaptive = AdaptiveServingSimulator(service_model, controller)
+        trace = FluctuatingTrace(min_rate=300, peak_ratio=2.0, duration=5.0, seed=6).generate()
+        result = adaptive.run(trace)
+        assert result.effective_accuracy is None
+        assert result.duration == pytest.approx(5.0)

@@ -1,0 +1,79 @@
+"""Tests for the shared utilities (seeding, configuration containers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import FrozenConfig, SeedSequenceFactory, set_global_seed, temp_seed
+from repro.utils.seeding import get_global_seed
+
+
+class TestSeeding:
+    def test_set_global_seed_reproduces_numpy_stream(self):
+        set_global_seed(123)
+        a = np.random.rand(4)
+        set_global_seed(123)
+        b = np.random.rand(4)
+        np.testing.assert_array_equal(a, b)
+        assert get_global_seed() == 123
+
+    def test_temp_seed_restores_state(self):
+        set_global_seed(7)
+        np.random.rand(3)
+        before_state_sample = np.random.rand(2)
+        set_global_seed(7)
+        np.random.rand(3)
+        with temp_seed(99):
+            np.random.rand(10)
+        after = np.random.rand(2)
+        np.testing.assert_array_equal(before_state_sample, after)
+
+    def test_factory_same_name_same_stream(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("dataset").normal(size=5)
+        b = factory.generator("dataset").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_factory_different_names_differ(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("dataset").normal(size=5)
+        b = factory.generator("model").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_factory_seed_is_nonnegative(self):
+        factory = SeedSequenceFactory(1)
+        assert factory.seed_for("anything") >= 0
+
+
+class TestFrozenConfig:
+    def test_attribute_and_item_access(self):
+        cfg = FrozenConfig(alpha=1, beta="two")
+        assert cfg.alpha == 1
+        assert cfg["beta"] == "two"
+        assert len(cfg) == 2
+        assert set(iter(cfg)) == {"alpha", "beta"}
+
+    def test_immutable(self):
+        cfg = FrozenConfig(alpha=1)
+        with pytest.raises(AttributeError):
+            cfg.alpha = 2
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            FrozenConfig(alpha=1).gamma
+
+    def test_replace_creates_new_instance(self):
+        cfg = FrozenConfig(alpha=1, beta=2)
+        other = cfg.replace(beta=3)
+        assert cfg.beta == 2 and other.beta == 3
+        assert other.alpha == 1
+
+    def test_as_dict_is_copy(self):
+        cfg = FrozenConfig(alpha=1)
+        d = cfg.as_dict()
+        d["alpha"] = 99
+        assert cfg.alpha == 1
+
+    def test_repr_lists_values(self):
+        assert "alpha=1" in repr(FrozenConfig(alpha=1))
