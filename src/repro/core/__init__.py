@@ -23,6 +23,7 @@ from repro.core.selection import (
     random_selection,
 )
 from repro.core.layout import LayoutPlan, build_layout_plan
+from repro.core.prepared import PreparedKernel, prepare_model
 from repro.core.runtime import FlexiQConv2d, FlexiQLinear, FlexiQModel
 from repro.core.controller import AdaptiveRatioController, LatencyProfile
 from repro.core.pipeline import FlexiQConfig, FlexiQPipeline
@@ -39,6 +40,7 @@ __all__ = [
     "FlexiQPipeline",
     "LatencyProfile",
     "LayoutPlan",
+    "PreparedKernel",
     "SelectionConfig",
     "build_layout_plan",
     "dynamic_extraction_shift",
@@ -48,6 +50,7 @@ __all__ = [
     "greedy_selection",
     "build_layout_plan",
     "lower_bits",
+    "prepare_model",
     "raise_bits",
     "random_selection",
     "unused_bits",

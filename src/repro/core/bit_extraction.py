@@ -82,6 +82,32 @@ def dynamic_extraction_shift(
     return extraction_shift(np.asarray(max_abs), high_bits=high_bits, low_bits=low_bits)
 
 
+def group_shared_max(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Share the maximum value within contiguous groups of ``group_size``.
+
+    The last group may be shorter than ``group_size``; it shares the maximum
+    of its own (short) tail only.  Implemented as a padded reshape + reduce so
+    it stays vectorized for any channel count.
+    """
+    values = np.asarray(values)
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    n = values.shape[0]
+    if group_size == 1 or n == 0:
+        return values.copy()
+    pad = (-n) % group_size
+    if pad:
+        if np.issubdtype(values.dtype, np.integer):
+            fill = np.iinfo(values.dtype).min
+        else:
+            fill = -np.inf
+        padded = np.concatenate([values, np.full(pad, fill, dtype=values.dtype)])
+    else:
+        padded = values
+    shared = np.repeat(padded.reshape(-1, group_size).max(axis=1), group_size)
+    return shared[:n]
+
+
 def lower_bits(
     q_high: np.ndarray, shift: np.ndarray, low_bits: int = 4
 ) -> np.ndarray:
@@ -199,21 +225,15 @@ class BitExtractionPlan:
         """Coarsen the plan so all channels in a hardware group share a shift.
 
         The group shift must accommodate the largest value in the group, so
-        the maximum shift within each group is used.
+        the maximum shift within each group is used.  Channel counts that are
+        not a multiple of ``group_size`` are handled by treating the trailing
+        channels as one short group.
         """
         if group_size <= 0:
             raise ValueError("group_size must be positive")
-        channels = self.num_channels
-        if channels % group_size != 0:
-            raise ValueError("channel count must be a multiple of group_size")
-
-        def reduce(shifts: np.ndarray) -> np.ndarray:
-            grouped = shifts.reshape(channels // group_size, group_size)
-            return np.repeat(grouped.max(axis=1), group_size)
-
         return BitExtractionPlan(
-            weight_shift=reduce(self.weight_shift),
-            act_shift=reduce(self.act_shift),
+            weight_shift=group_shared_max(self.weight_shift, group_size),
+            act_shift=group_shared_max(self.act_shift, group_size),
             high_bits=self.high_bits,
             low_bits=self.low_bits,
         )

@@ -304,6 +304,10 @@ class FlexiQPipeline:
             group_size=config.group_size,
         )
         runtime.set_ratio(0.0)
+        # All weight-side state (quantized weights, permuted planes, factor
+        # tables) is prepared here, once; serving-time forwards and ratio
+        # switches never recompute it.
+        runtime.prepare()
         return runtime
 
 

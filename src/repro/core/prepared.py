@@ -1,0 +1,365 @@
+"""Prepared-kernel cache for the FlexiQ mixed-precision GEMM.
+
+The real FlexiQ serving system (Section 8.5) switches the 4-bit channel ratio
+with *a single variable update per layer*: all weight-side state -- the
+quantized weights, the channel permutation, the lowered 4-bit weight planes
+and the ``2**shift`` rescale factors -- lives in device memory, prepared
+ahead of time.  This module reproduces that separation of prepare-time from
+run-time work.
+
+A :class:`PreparedKernel` snapshots everything about one layer's weight side
+and extraction plan at prepare time, in *original* (unpermuted) column order:
+
+* ``w8_t`` -- the int8 quantized weight matrix, stored transposed and as
+  float64 so the GEMM consumes it without any per-call conversion;
+* ``w4_t`` -- the lowered 4-bit weight planes ``lower_bits(w, weight_shift)
+  * 2**weight_shift``, also transposed/float64 and GEMM-ready;
+* per-boundary *combined* plane matrices: running at boundary ``b`` uses a
+  matrix whose rows are the 4-bit planes for the ``b`` leading channels of
+  the layout order and the 8-bit rows for the rest, together with per-column
+  ``2**act_shift`` factor tables and clip bounds (built with :func:`np.ldexp`
+  -- exact powers of two, no ``np.power`` on float64 in the hot path).
+
+Because an integer GEMM is a sum over columns, folding the layout
+permutation into the weight rows is exact: activations are never permuted at
+inference time.  A forward pass is one fused element-wise lowering pass over
+the activations followed by a single GEMM.  Every operand is a small integer
+times an exact power of two, so all float64 products and sums are exactly
+representable and the result is **bit-exact identical** to the uncached
+reference path (``_FlexiQMixin._mixed_precision_matmul``) regardless of
+BLAS summation order.
+
+Prepare/invalidate lifecycle
+----------------------------
+
+* ``freeze()`` on a quantized layer caches the int8 quantized weights (see
+  :meth:`repro.quant.qmodules.QuantizedLayer.quantized_weight`).
+* ``configure()`` on a FlexiQ layer drops any stale prepared kernel and, when
+  the layer is already frozen, eagerly rebuilds it for the new layout/plan,
+  including the combined planes for every boundary of the layout (so
+  ``set_ratio()`` switches between fully prepared states).
+* ``set_boundary()`` / ``set_ratio()`` are O(1): they update one integer and
+  never touch the prepared state (the paper's single-variable-update claim).
+  A boundary outside the layout's ratio set builds its combined plane
+  lazily, once, on first use.
+* ``reset_calibration()`` and re-``freeze()`` invalidate both the quantized
+  weight cache and the prepared kernel.
+* Weight updates that rebind the parameter's ``.data`` array (the optimizer
+  and ``load_state_dict`` both do) are detected automatically through an
+  object-identity check; purely in-place mutation of the same array must be
+  followed by an explicit ``invalidate_weight_cache()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.bit_extraction import (
+    extraction_shift,
+    group_shared_max,
+    lower_bits,
+)
+from repro.quant.quantizers import int_range
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import _FlexiQMixin
+
+# Combined plane matrices are one (channels * taps, out) float64 array per
+# boundary; serving uses only the layout's ratio boundaries, so a small cache
+# never evicts in practice.  The cap bounds memory when callers sweep many
+# ad-hoc boundaries (e.g. the GA fitness loop).
+_MAX_BOUNDARY_PLANES = 16
+
+
+class PreparedKernel:
+    """Precomputed weight-side and plan-side state for one FlexiQ layer.
+
+    All arrays are computed in :meth:`build` (plus lazily cached per-boundary
+    combined planes) and only read afterwards.  ``weight_src`` keeps a
+    reference to the exact weight array the kernel was prepared from so
+    staleness can be detected with an ``is`` check, never a recompute.
+    """
+
+    def __init__(
+        self,
+        order: np.ndarray,
+        w8_t: np.ndarray,
+        w4_t: np.ndarray,
+        act_shift: np.ndarray,
+        taps: int,
+        group_size: int,
+        high_bits: int,
+        low_bits: int,
+        weight_src: np.ndarray,
+        weight_qparams_src=None,
+    ) -> None:
+        self.order = order                # layout order: position -> channel
+        self.w8_t = w8_t                  # (channels * taps, out) float64
+        self.w4_t = w4_t                  # (channels * taps, out) float64
+        self.act_shift = act_shift        # (channels,) original channel order
+        self.taps = int(taps)
+        self.channels = int(act_shift.shape[0])
+        self.out_features = int(w8_t.shape[1])
+        self.group_size = int(group_size)
+        self.high_bits = int(high_bits)
+        self.low_bits = int(low_bits)
+        self.qmin_low, self.qmax_low = int_range(low_bits)
+        self.weight_src = weight_src
+        self.weight_qparams_src = weight_qparams_src
+        self._act_shift_cols = np.repeat(act_shift, taps) if taps > 1 else act_shift
+        # boundary -> (combined plane, inv factors, lo, hi), column domain
+        self._boundary_planes: "OrderedDict[int, Tuple[np.ndarray, ...]]" = (
+            OrderedDict()
+        )
+        # boundary -> (inv, lo, hi), per-channel (image) domain
+        self._channel_tables: "OrderedDict[int, Tuple[np.ndarray, ...]]" = (
+            OrderedDict()
+        )
+        # boundary -> (prefix column index, static act shifts per column)
+        self._prefix_cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(layer: "_FlexiQMixin", taps: int) -> "PreparedKernel":
+        """Prepare the weight-side state of a configured, frozen layer."""
+        if layer.layout is None or layer.extraction_plan is None:
+            raise RuntimeError("configure() must be called before preparing")
+        order = layer.layout.order
+        plan = layer.extraction_plan  # stored in layout (permuted) order
+        # Undo the layout permutation: shifts per *original* channel index.
+        weight_shift = np.empty_like(plan.weight_shift)
+        weight_shift[order] = plan.weight_shift
+        act_shift = np.empty_like(plan.act_shift)
+        act_shift[order] = plan.act_shift
+
+        w8_t = layer._gemm_weight_t()  # shared, cached (channels * taps, out)
+        weight_shift_cols = np.repeat(weight_shift, taps)
+        w_low = lower_bits(w8_t.T, weight_shift_cols[None, :], layer.low_bits)
+        w4 = w_low.astype(np.float64) * np.ldexp(1.0, weight_shift_cols)[None, :]
+        return PreparedKernel(
+            order=order,
+            w8_t=w8_t,
+            w4_t=np.ascontiguousarray(w4.T),
+            act_shift=act_shift,
+            taps=taps,
+            group_size=layer.group_size,
+            high_bits=plan.high_bits,
+            low_bits=layer.low_bits,
+            weight_src=layer._weight_reference().data,
+            weight_qparams_src=layer.weight_qparams,
+        )
+
+    def matches(self, layer: "_FlexiQMixin", taps: int) -> bool:
+        """Whether this kernel is still valid for the layer's current state."""
+        return (
+            self.taps == taps
+            and self.weight_src is layer._weight_reference().data
+            and self.weight_qparams_src is layer.weight_qparams
+        )
+
+    # ------------------------------------------------------------------
+    # Per-boundary combined planes
+    # ------------------------------------------------------------------
+    def _prefix_info(self, boundary: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (prefix column index, static act shifts per column).
+
+        Both are pure functions of the boundary; the dynamic-extraction path
+        needs them on every forward, so they are cached alongside the
+        boundary planes instead of being rebuilt per batch.
+        """
+        cached = self._prefix_cache.get(boundary)
+        if cached is not None:
+            return cached
+        channels = self.order[:boundary]
+        if self.taps == 1:
+            prefix_cols = channels
+        else:
+            prefix_cols = (
+                channels[:, None] * self.taps + np.arange(self.taps)[None, :]
+            ).reshape(-1)
+        entry = (prefix_cols, self._act_shift_cols[prefix_cols])
+        self._prefix_cache[boundary] = entry
+        while len(self._prefix_cache) > _MAX_BOUNDARY_PLANES:
+            self._prefix_cache.popitem(last=False)
+        return entry
+
+    def prepare_boundaries(self, boundaries: Iterable[int]) -> None:
+        """Eagerly build the combined planes for a set of boundaries."""
+        for boundary in boundaries:
+            self._boundary_plane(int(boundary))
+
+    def _boundary_plane(self, boundary: int) -> Tuple[np.ndarray, ...]:
+        cached = self._boundary_planes.get(boundary)
+        if cached is not None:
+            self._boundary_planes.move_to_end(boundary)
+            return cached
+        total = self.channels * self.taps
+        prefix_cols, shift_cols = self._prefix_info(boundary)
+        if boundary == 0:
+            combined = self.w8_t
+        else:
+            combined = self.w8_t.copy()
+            combined[prefix_cols] = self.w4_t[prefix_cols]
+            # Fold the static activation rescale (2**act_shift per column of
+            # x, i.e. per *row* of the plane) into the prefix rows: the GEMM
+            # then consumes the lowered activations directly and the fourth
+            # element-wise pass disappears.  Exact: the rows are small
+            # integers scaled by powers of two.
+            combined[prefix_cols] *= np.ldexp(1.0, shift_cols)[:, None]
+        # Element-wise lowering tables: prefix columns are lowered, the 8-bit
+        # remainder passes through untouched (factor 1, unbounded clip
+        # window; round() is exact on integer-valued floats).
+        inv = np.ones(total)
+        inv[prefix_cols] = np.ldexp(1.0, -shift_cols)
+        lo = np.full(total, -np.inf)
+        lo[prefix_cols] = self.qmin_low
+        hi = np.full(total, np.inf)
+        hi[prefix_cols] = self.qmax_low
+        entry = (combined, inv[None, :], lo[None, :], hi[None, :])
+        self._boundary_planes[boundary] = entry
+        while len(self._boundary_planes) > _MAX_BOUNDARY_PLANES:
+            self._boundary_planes.popitem(last=False)
+        return entry
+
+    def channel_tables(self, boundary: int) -> Tuple[np.ndarray, ...]:
+        """Per-*channel* lowering tables (float32) for image-domain lowering.
+
+        The extraction shift is shared by all taps of a feature channel, so a
+        convolution can lower the quantized *image* (k*k times less data than
+        the unfolded columns) and hand :meth:`gemm_lowered` activations that
+        need no further element-wise work.  Exact: the factors are powers of
+        two and every intermediate is exactly representable in float32.
+        """
+        cached = self._channel_tables.get(boundary)
+        if cached is not None:
+            return cached
+        prefix = self.order[:boundary]
+        inv = np.ones(self.channels, dtype=np.float32)
+        inv[prefix] = np.ldexp(1.0, -self.act_shift[prefix]).astype(np.float32)
+        lo = np.full(self.channels, -np.inf, dtype=np.float32)
+        lo[prefix] = self.qmin_low
+        hi = np.full(self.channels, np.inf, dtype=np.float32)
+        hi[prefix] = self.qmax_low
+        entry = (inv, lo, hi)
+        self._channel_tables[boundary] = entry
+        while len(self._channel_tables) > _MAX_BOUNDARY_PLANES:
+            self._channel_tables.popitem(last=False)
+        return entry
+
+    def gemm_lowered(self, q_x: np.ndarray, boundary: int) -> np.ndarray:
+        """GEMM against the combined plane for already-lowered activations."""
+        if boundary <= 0:
+            return q_x @ self.w8_t
+        return q_x @ self._boundary_plane(boundary)[0]
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def matmul(
+        self, q_x: np.ndarray, boundary: int, dynamic: bool = False
+    ) -> np.ndarray:
+        """``q_x @ q_w.T`` with a 4-bit prefix of ``boundary`` layout channels.
+
+        ``q_x`` is (rows, channels * taps) in *original* column order,
+        integer-valued float64, and is modified in place (callers pass a
+        freshly quantized buffer).  The layout permutation is folded into the
+        prepared weight rows, so no activation permutation happens here: one
+        fused element-wise lowering pass, then a single GEMM.
+        """
+        if boundary <= 0:
+            return q_x @ self.w8_t
+        combined, inv, lo, hi = self._boundary_plane(boundary)
+        fac = None
+        if dynamic:
+            inv, fac = self._dynamic_tables(q_x, boundary)
+        np.multiply(q_x, inv, out=q_x)
+        np.round(q_x, out=q_x)
+        np.clip(q_x, lo, hi, out=q_x)
+        if fac is not None:
+            # Dynamic shifts replace the static ones folded into the plane:
+            # rescale by 2**(dynamic - static), an exact power of two.
+            np.multiply(q_x, fac, out=q_x)
+        return q_x @ combined
+
+    def _dynamic_tables(
+        self, q_x: np.ndarray, boundary: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Factor tables from runtime shifts (Section 8.6, dynamic extraction).
+
+        The combined plane carries the *static* ``2**act_shift`` fold, so the
+        post-clip factor is ``2**(dynamic - static)`` on prefix columns --
+        still an exact power of two, keeping the kernel bit-exact with the
+        reference dynamic path.
+        """
+        prefix_cols, static_cols = self._prefix_info(boundary)
+        shifts = self.dynamic_act_shift(q_x, boundary)
+        shift_cols = np.repeat(shifts, self.taps)
+        total = self.channels * self.taps
+        inv = np.ones(total)
+        inv[prefix_cols] = np.ldexp(1.0, -shift_cols)
+        fac = np.ones(total)
+        fac[prefix_cols] = np.ldexp(1.0, shift_cols - static_cols)
+        return inv[None, :], fac[None, :]
+
+    def dynamic_act_shift(self, q_x: np.ndarray, boundary: int) -> np.ndarray:
+        """Per-channel extraction shifts computed from the runtime batch.
+
+        Returned in layout order (leading ``boundary`` channels), exactly as
+        the reference kernel computes them from the permuted activations.
+        """
+        sub = q_x[:, self._prefix_info(boundary)[0]]
+        per_channel = sub.reshape(sub.shape[0], boundary, self.taps)
+        max_abs = np.abs(per_channel).max(axis=(0, 2))
+        shifts = extraction_shift(
+            max_abs, high_bits=self.high_bits, low_bits=self.low_bits
+        )
+        if self.group_size > 1:
+            shifts = group_shared_max(shifts, self.group_size)
+        return shifts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Device-memory footprint of the prepared planes (bytes)."""
+        total = self.w8_t.nbytes + self.w4_t.nbytes + self.order.nbytes
+        for combined, inv, lo, hi in self._boundary_planes.values():
+            if combined is not self.w8_t and combined is not self.w4_t:
+                total += combined.nbytes
+            total += inv.nbytes + lo.nbytes + hi.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedKernel(channels={self.channels}, taps={self.taps}, "
+            f"out={self.out_features}, low_bits={self.low_bits}, "
+            f"boundaries={sorted(self._boundary_planes)})"
+        )
+
+
+def prepare_model(model, use_prepared: Optional[bool] = None) -> int:
+    """Eagerly (re)build prepared kernels for every FlexiQ layer of ``model``.
+
+    Returns the number of layers prepared.  ``use_prepared`` optionally
+    toggles the prepared path on every layer first (``None`` leaves it as
+    is), which tests and benchmarks use to compare against the uncached
+    reference implementation.
+    """
+    from repro.core.runtime import FlexiQConv2d, FlexiQLinear
+
+    prepared = 0
+    for _, module in model.named_modules():
+        if not isinstance(module, (FlexiQLinear, FlexiQConv2d)):
+            continue
+        if use_prepared is not None:
+            module.use_prepared = bool(use_prepared)
+        if module.prepare() is not None:
+            prepared += 1
+    return prepared

@@ -23,19 +23,26 @@ import numpy as np
 from repro.core.bit_extraction import (
     BitExtractionPlan,
     extraction_shift,
+    group_shared_max,
     lower_bits,
 )
 from repro.core.layout import ChannelLayout, LayoutPlan
+from repro.core.prepared import PreparedKernel, prepare_model
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
 from repro.quant.qmodules import QuantConv2d, QuantLinear, QuantizedLayer
-from repro.quant.quantizers import quantize
+from repro.quant.quantizers import quantize, quantize_cast
 from repro.tensor import Tensor
-from repro.tensor.functional import im2col
+from repro.tensor.functional import im2col, im2col_cast
 
 
 class _FlexiQMixin:
-    """Mixed-precision machinery shared by FlexiQ linear and conv layers."""
+    """Mixed-precision machinery shared by FlexiQ linear and conv layers.
+
+    Must precede the ``Quant*`` base class in the MRO so that its
+    ``_on_weight_cache_invalidated`` override (which drops the prepared
+    kernel) shadows the base class no-op.
+    """
 
     def _init_flexiq_state(self) -> None:
         self.layout: Optional[ChannelLayout] = None
@@ -44,6 +51,13 @@ class _FlexiQMixin:
         self.max_4bit_ch: int = 0
         self.dynamic_extract: bool = False
         self.low_bits: int = 4
+        # Prepared-kernel cache (weight planes, permutations, factor tables).
+        # ``use_prepared=False`` forces the uncached reference kernel, which
+        # tests and benchmarks use for bit-exactness and speedup comparisons.
+        self._prepared: Optional[PreparedKernel] = None
+        self._out_scale_cache: Optional[np.ndarray] = None
+        self._out_scale_src: Optional[tuple] = None
+        self.use_prepared: bool = True
 
     # ------------------------------------------------------------------
     # Configuration
@@ -70,10 +84,9 @@ class _FlexiQMixin:
             raise ValueError("extraction plan does not match layer channels")
         plan = extraction_plan
         if group_size > 1:
-            # Shifts are shared within hardware channel groups.
-            padded = self.feature_channels - self.feature_channels % group_size
-            if padded == self.feature_channels:
-                plan = plan.group_reduce(group_size)
+            # Shifts are shared within hardware channel groups; channel counts
+            # that are not a multiple of the group size pad the last group.
+            plan = plan.group_reduce(group_size)
         self.layout = layout
         self.group_size = int(group_size)
         self.low_bits = int(low_bits)
@@ -85,6 +98,11 @@ class _FlexiQMixin:
             low_bits=low_bits,
         )
         self.max_4bit_ch = 0
+        # The layout/plan changed, so any prepared weight planes are stale.
+        # Rebuild eagerly when the layer is already frozen: all weight-side
+        # work happens here, at configure time, never per forward.
+        self._prepared = None
+        self.prepare()
 
     def set_boundary(self, boundary: int) -> None:
         """Set the number of leading (permuted) channels computed in 4-bit."""
@@ -104,6 +122,68 @@ class _FlexiQMixin:
         self.dynamic_extract = bool(enabled)
 
     # ------------------------------------------------------------------
+    # Prepared-kernel cache
+    # ------------------------------------------------------------------
+    @property
+    def kernel_taps(self) -> int:
+        """Consecutive GEMM columns per feature channel (k*k for convs)."""
+        return 1
+
+    @property
+    def _supports_prepared(self) -> bool:
+        return True
+
+    def prepare(self) -> Optional[PreparedKernel]:
+        """Build (or refresh) the prepared kernel for this layer.
+
+        Returns ``None`` when the layer is not ready (not configured, not
+        frozen, or the mixed-precision path does not apply) or when the
+        prepared path is disabled via ``use_prepared``.
+        """
+        if not self._uses_prepared():
+            return None
+        prepared = self._get_prepared(self.kernel_taps)
+        # Pre-build the combined planes for every ratio boundary of the
+        # layout so set_ratio() switches between fully prepared states.
+        # Boundary 0 needs no plane (the kernel uses the 8-bit plane as is).
+        boundaries = {self.max_4bit_ch}
+        boundaries.update(self.layout.boundaries.values())
+        prepared.prepare_boundaries(b for b in boundaries if b > 0)
+        return prepared
+
+    def _get_prepared(self, taps: int) -> PreparedKernel:
+        prepared = self._prepared
+        if prepared is not None and prepared.matches(self, taps):
+            return prepared
+        prepared = PreparedKernel.build(self, taps)
+        self._prepared = prepared
+        return prepared
+
+    def _on_weight_cache_invalidated(self) -> None:
+        # The prepared planes are derived from the cached integer weights.
+        self._prepared = None
+        self._out_scale_cache = None
+
+    def _output_scale(self) -> np.ndarray:
+        """Per-output-channel dequantization scale, cached as float64.
+
+        Keyed on the identity of both QuantParams objects so analysis code
+        that rebinds them (e.g. uniform-INT4 comparisons) never sees a stale
+        scale.
+        """
+        src = self._out_scale_src
+        if (
+            self._out_scale_cache is None
+            or src[0] is not self.act_qparams
+            or src[1] is not self.weight_qparams
+        ):
+            self._out_scale_cache = (
+                self.act_qparams.scale * self.weight_qparams.scale
+            ).astype(np.float64)
+            self._out_scale_src = (self.act_qparams, self.weight_qparams)
+        return self._out_scale_cache
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def current_4bit_fraction(self) -> float:
@@ -117,10 +197,37 @@ class _FlexiQMixin:
     # ------------------------------------------------------------------
     # Mixed-precision integer GEMM
     # ------------------------------------------------------------------
+    def _uses_prepared(self) -> bool:
+        return (
+            self.use_prepared
+            and self._supports_prepared
+            and self.layout is not None
+            and self.extraction_plan is not None
+            and self.weight_qparams is not None
+        )
+
+    def _flexiq_matmul(self, q_x: np.ndarray, taps: int) -> np.ndarray:
+        """Uncached mixed-precision GEMM, weight quantization included.
+
+        This is the reference path the quantized forwards fall back to when
+        the prepared kernel is disabled or not applicable: it re-derives all
+        weight-side state from the float weights on every call, exactly as
+        the seed implementation did.  It is a bit-exact equivalent of the
+        prepared path: every operand is a small integer times an exact power
+        of two, so all float64 products and sums are exactly representable
+        regardless of evaluation order.
+        """
+        q_w = quantize(self._weight_reference().data, self.weight_qparams)
+        w_mat = q_w.astype(np.float64).reshape(q_w.shape[0], -1)
+        return self._mixed_precision_matmul(q_x, w_mat, taps=taps)
+
     def _mixed_precision_matmul(
         self, q_x: np.ndarray, q_w: np.ndarray, taps: int = 1
     ) -> np.ndarray:
         """Compute ``q_x @ q_w.T`` with a 4-bit prefix and an 8-bit remainder.
+
+        This is the uncached reference kernel; :meth:`_flexiq_matmul` prefers
+        the prepared kernel and only falls back here.
 
         ``q_x``: (rows, channels * taps) integer activations, channel-major.
         ``q_w``: (out, channels * taps) integer weights, channel-major.
@@ -178,20 +285,11 @@ class _FlexiQMixin:
             max_abs, high_bits=self.extraction_plan.high_bits, low_bits=self.low_bits
         )
         if self.group_size > 1:
-            shifts = _group_max(shifts, self.group_size)
+            shifts = group_shared_max(shifts, self.group_size)
         return shifts
 
 
-def _group_max(values: np.ndarray, group_size: int) -> np.ndarray:
-    """Share the maximum value within contiguous groups (last group may be short)."""
-    result = values.copy()
-    for start in range(0, len(values), group_size):
-        stop = min(start + group_size, len(values))
-        result[start:stop] = values[start:stop].max()
-    return result
-
-
-class FlexiQLinear(QuantLinear, _FlexiQMixin):
+class FlexiQLinear(_FlexiQMixin, QuantLinear):
     """Fully connected layer with a runtime-adjustable 4-bit channel prefix."""
 
     def __init__(self, source: Linear, weight_bits: int = 8, act_bits: int = 8) -> None:
@@ -199,10 +297,27 @@ class FlexiQLinear(QuantLinear, _FlexiQMixin):
         self._init_flexiq_state()
 
     def _quantized_forward(self, x: Tensor) -> Tensor:
+        if self._uses_prepared():
+            # Fast path: fused quantize+cast, no activation permutation (the
+            # layout is folded into the prepared weight planes), one GEMM,
+            # in-place rescale.  Bit-exact with the reference branch below.
+            rows = quantize_cast(x.data, self.act_qparams, np.float64).reshape(
+                -1, self.in_features
+            )
+            prepared = self._get_prepared(1)
+            acc = prepared.matmul(rows, self.max_4bit_ch, dynamic=self.dynamic_extract)
+            np.multiply(acc, self._output_scale().reshape(1, -1), out=acc)
+            if self.bias is not None:
+                np.add(acc, self.bias.data.reshape(1, -1), out=acc)
+            out = acc.astype(np.float32).reshape(x.shape[:-1] + (self.out_features,))
+            return Tensor(out)
+        if self.use_prepared and self.layout is None:
+            # Unconfigured layers (e.g. first/last kept at 8 bits) still use
+            # the cached integer weights of the uniform path.
+            return super()._quantized_forward(x)
         q_x = quantize(x.data, self.act_qparams).astype(np.float64)
-        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
         rows = q_x.reshape(-1, self.in_features)
-        acc = self._mixed_precision_matmul(rows, q_w, taps=1)
+        acc = self._flexiq_matmul(rows, taps=1)
         scale = self.act_qparams.scale * self.weight_qparams.scale
         out = acc * scale.reshape(1, -1)
         if self.bias is not None:
@@ -217,12 +332,21 @@ class FlexiQLinear(QuantLinear, _FlexiQMixin):
         )
 
 
-class FlexiQConv2d(QuantConv2d, _FlexiQMixin):
+class FlexiQConv2d(_FlexiQMixin, QuantConv2d):
     """Convolution with a runtime-adjustable 4-bit feature-channel prefix."""
 
     def __init__(self, source: Conv2d, weight_bits: int = 8, act_bits: int = 8) -> None:
         super().__init__(source, weight_bits=weight_bits, act_bits=act_bits)
         self._init_flexiq_state()
+
+    @property
+    def kernel_taps(self) -> int:
+        return self.kernel_size * self.kernel_size
+
+    @property
+    def _supports_prepared(self) -> bool:
+        # Grouped/depthwise convolutions run the uniform quantized path.
+        return self.groups == 1
 
     def _quantized_forward(self, x: Tensor) -> Tensor:
         if self.groups != 1:
@@ -231,12 +355,52 @@ class FlexiQConv2d(QuantConv2d, _FlexiQMixin):
             return super()._quantized_forward(x)
         n = x.shape[0]
         k = self.kernel_size
+        if self._uses_prepared():
+            # Fast path: quantize and bit-lower in the *image* domain (k*k
+            # times less data than the unfolded columns; the extraction
+            # shift is shared by all taps of a channel and every element-wise
+            # step maps quantized/padded zero to zero, so this commutes with
+            # im2col), gather+cast to the GEMM dtype in one fused pass, one
+            # GEMM with the layout folded into the prepared planes, in-place
+            # rescale.  Bit-exact with the reference ordering below.
+            prepared = self._get_prepared(k * k)
+            boundary = self.max_4bit_ch
+            q_img = quantize_cast(x.data, self.act_qparams, np.float32)
+            if self.dynamic_extract:
+                # Dynamic extraction derives shifts from the unfolded window
+                # values, so lowering stays in the column domain.
+                q_cols, (out_h, out_w) = im2col_cast(
+                    q_img, (k, k), self.stride, self.padding
+                )
+                rows = q_cols.reshape(-1, q_cols.shape[-1])
+                acc = prepared.matmul(rows, boundary, dynamic=True)
+            else:
+                if boundary > 0:
+                    inv, lo, hi = prepared.channel_tables(boundary)
+                    np.multiply(q_img, inv.reshape(1, -1, 1, 1), out=q_img)
+                    np.round(q_img, out=q_img)
+                    np.clip(q_img, lo.reshape(1, -1, 1, 1), hi.reshape(1, -1, 1, 1), out=q_img)
+                q_cols, (out_h, out_w) = im2col_cast(
+                    q_img, (k, k), self.stride, self.padding
+                )
+                rows = q_cols.reshape(-1, q_cols.shape[-1])
+                acc = prepared.gemm_lowered(rows, boundary)
+            acc = acc.reshape(n, out_h * out_w, self.out_channels)
+            np.multiply(acc, self._output_scale().reshape(1, 1, -1), out=acc)
+            if self.bias is not None:
+                np.add(acc, self.bias.data.reshape(1, 1, -1), out=acc)
+            # Fused transpose + downcast: astype(order="C") gathers the
+            # (N, out, P) layout and converts in a single pass.
+            out = acc.transpose(0, 2, 1).astype(np.float32, order="C")
+            return Tensor(out.reshape(n, self.out_channels, out_h, out_w))
+        if self.use_prepared and self.layout is None:
+            # Unconfigured layers (e.g. first/last kept at 8 bits) still use
+            # the cached integer weights of the uniform path.
+            return super()._quantized_forward(x)
         cols, (out_h, out_w) = im2col(x.data, (k, k), self.stride, self.padding)
         q_cols = quantize(cols, self.act_qparams).astype(np.float64)
-        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
-        w_mat = q_w.reshape(self.out_channels, -1)
         rows = q_cols.reshape(-1, q_cols.shape[-1])
-        acc = self._mixed_precision_matmul(rows, w_mat, taps=k * k)
+        acc = self._flexiq_matmul(rows, taps=k * k)
         scale = self.act_qparams.scale * self.weight_qparams.scale
         out = acc.reshape(n, out_h * out_w, self.out_channels) * scale.reshape(1, 1, -1)
         if self.bias is not None:
@@ -290,7 +454,9 @@ class FlexiQModel:
         The cost of this operation in the real system is a single variable
         update per layer (see Section 8.5); here it is a Python loop over the
         layers, and the hardware models charge the corresponding (negligible)
-        switch latency.
+        switch latency.  With the prepared-kernel cache this holds literally:
+        switching the ratio performs no weight requantization, re-permutation
+        or plane lowering -- each layer just moves its boundary index.
         """
         for name, layer in self._flexiq_layers:
             if name in self.layout_plan.layouts:
@@ -300,6 +466,21 @@ class FlexiQModel:
     def set_dynamic_extraction(self, enabled: bool) -> None:
         for _, layer in self._flexiq_layers:
             layer.set_dynamic_extraction(enabled)
+
+    # ------------------------------------------------------------------
+    # Prepared kernels
+    # ------------------------------------------------------------------
+    def prepare(self, use_prepared: Optional[bool] = None) -> int:
+        """Eagerly build the prepared kernels of every FlexiQ layer.
+
+        Forward passes build missing kernels lazily, so calling this is an
+        optimization, not a requirement; the pipeline calls it once so the
+        very first inference after construction is already on the fast path.
+        ``use_prepared`` optionally toggles the prepared path on all layers
+        (``False`` forces the uncached reference kernels, used by tests and
+        benchmarks).  Returns the number of layers holding a prepared kernel.
+        """
+        return prepare_model(self.model, use_prepared=use_prepared)
 
     # ------------------------------------------------------------------
     # Inference

@@ -123,6 +123,30 @@ class BatchNorm2d(Module):
         self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
         self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        # Inference-mode constant cache: with frozen statistics the mean and
+        # standard deviation are constants; recomputing and re-wrapping them
+        # on every forward is hot-path waste.  The per-element arithmetic
+        # (and hence the output, bitwise) is unchanged -- only the small
+        # per-channel preamble is cached.  Keyed on the identity of the
+        # buffer arrays, so update_buffer() (which rebinds them) invalidates
+        # it naturally; weight/bias are not cached so autograd still reaches
+        # them in eval mode.
+        self._inference_cache = None
+        self._inference_src = None
+
+    def _inference_constants(self):
+        # Only the frozen statistics are cached; weight/bias stay live
+        # Parameters in forward() so eval-mode backward still reaches them.
+        src = (self.running_mean, self.running_var)
+        if self._inference_cache is None or any(
+            cached is not current for cached, current in zip(self._inference_src, src)
+        ):
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            std = (var + self.eps).sqrt()
+            self._inference_cache = (mean, std)
+            self._inference_src = src
+        return self._inference_cache
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:
@@ -140,8 +164,10 @@ class BatchNorm2d(Module):
             self.update_buffer("running_mean", new_mean)
             self.update_buffer("running_var", new_var)
         else:
-            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            mean, std = self._inference_constants()
+            weight = self.weight.reshape(1, self.num_features, 1, 1)
+            bias = self.bias.reshape(1, self.num_features, 1, 1)
+            return (x - mean) / std * weight + bias
         normalized = (x - mean) / (var + self.eps).sqrt()
         weight = self.weight.reshape(1, self.num_features, 1, 1)
         bias = self.bias.reshape(1, self.num_features, 1, 1)

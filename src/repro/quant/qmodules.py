@@ -5,11 +5,14 @@ Each quantized layer goes through three phases:
 1. ``calibrating`` -- the layer runs in float and its observers record the
    input-activation ranges (per tensor for the scale, per feature channel for
    FlexiQ's later analysis).
-2. ``freeze()`` -- quantization parameters are computed from the observers.
-3. quantized inference -- activations and weights are mapped to integers and
-   the matrix multiplication is carried out on integer values (stored in
-   float64 so NumPy uses BLAS; the arithmetic is exact because all operands
-   are small integers), then rescaled back to float.
+2. ``freeze()`` -- quantization parameters are computed from the observers
+   and the integer weights are cached (int8) so inference never re-quantizes
+   them; ``reset_calibration()`` and weight updates invalidate the cache.
+3. quantized inference -- activations are mapped to integers per batch, the
+   cached integer weights are reused, and the matrix multiplication is
+   carried out on integer values (stored in float64 so NumPy uses BLAS; the
+   arithmetic is exact because all operands are small integers), then
+   rescaled back to float.
 
 The FlexiQ mixed-precision layers in :mod:`repro.core.runtime` subclass these
 and override only the integer kernel.
@@ -26,7 +29,7 @@ from repro.nn.module import Module, Parameter
 from repro.quant.observers import EmaMinMaxObserver, MinMaxObserver, TensorRange
 from repro.quant.quantizers import QuantParams, compute_qparams, fake_quantize, quantize
 from repro.tensor import Tensor
-from repro.tensor.functional import col2im, im2col
+from repro.tensor.functional import col2im, im2col_cast
 
 
 class QuantizedLayer(Module):
@@ -46,6 +49,16 @@ class QuantizedLayer(Module):
         # When set to a bitwidth, forward() runs the differentiable
         # fake-quantized path at that precision (used for QAT finetuning).
         self.qat_bits: Optional[int] = None
+        # Cached integer weights (int8) plus the GEMM-ready float64 transpose,
+        # computed once at freeze() instead of on every forward pass.
+        # ``_q_weight_src`` holds references to the exact weight array and
+        # QuantParams object the cache was built from; rebinding either
+        # (optimizer steps, load_state_dict, analysis code swapping qparams)
+        # is detected by identity, in-place mutation needs an explicit
+        # invalidate_weight_cache().
+        self._q_weight_cache: Optional[np.ndarray] = None
+        self._q_weight_src: Optional[tuple] = None
+        self._w_gemm_cache: Optional[np.ndarray] = None
 
     # -- implemented by subclasses ------------------------------------
     @property
@@ -78,9 +91,58 @@ class QuantizedLayer(Module):
         )
         self.act_qparams = compute_qparams(self.act_observer.range(), self.act_bits)
         self.calibrating = False
+        # Quant params changed: rebuild the cached integer weights eagerly so
+        # the first quantized forward is already on the fast path.
+        self.invalidate_weight_cache()
+        self.quantized_weight()
 
     def _weight_reference(self) -> Parameter:
         raise NotImplementedError
+
+    # -- prepared weight cache ------------------------------------------
+    def quantized_weight(self) -> np.ndarray:
+        """Integer weights (int8 storage), cached between forward passes.
+
+        The cache is rebuilt whenever the layer's weight array has been
+        rebound since the last call (identity check), and dropped explicitly
+        by :meth:`freeze`, :meth:`reset_calibration` and
+        :meth:`invalidate_weight_cache`.
+        """
+        if self.weight_qparams is None:
+            raise RuntimeError("freeze() must be called before quantized_weight")
+        weight = self._weight_reference().data
+        src = self._q_weight_src
+        if (
+            self._q_weight_cache is None
+            or src[0] is not weight
+            or src[1] is not self.weight_qparams
+        ):
+            self._q_weight_cache = quantize(weight, self.weight_qparams).astype(
+                np.int8
+            )
+            self._q_weight_src = (weight, self.weight_qparams)
+            self._w_gemm_cache = None
+            self._on_weight_cache_invalidated()
+        return self._q_weight_cache
+
+    def _gemm_weight_t(self) -> np.ndarray:
+        """Quantized weights as a GEMM-ready (features * taps, out) float64."""
+        q_w = self.quantized_weight()
+        if self._w_gemm_cache is None:
+            self._w_gemm_cache = np.ascontiguousarray(
+                q_w.reshape(q_w.shape[0], -1).T.astype(np.float64)
+            )
+        return self._w_gemm_cache
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop all cached weight-side state (int8 weights, GEMM operands)."""
+        self._q_weight_cache = None
+        self._q_weight_src = None
+        self._w_gemm_cache = None
+        self._on_weight_cache_invalidated()
+
+    def _on_weight_cache_invalidated(self) -> None:
+        """Hook for subclasses holding derived state (prepared kernels)."""
 
     # -- inference ------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
@@ -106,6 +168,7 @@ class QuantizedLayer(Module):
         self.weight_qparams = None
         self.act_qparams = None
         self.calibrating = True
+        self.invalidate_weight_cache()
 
     def qat_forward(self, x: Tensor, weight_bits: Optional[int] = None,
                     act_bits: Optional[int] = None) -> Tensor:
@@ -189,8 +252,7 @@ class QuantLinear(QuantizedLayer):
 
     def _quantized_forward(self, x: Tensor) -> Tensor:
         q_x = quantize(x.data, self.act_qparams).astype(np.float64)
-        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
-        acc = q_x @ q_w.T
+        acc = q_x @ self._gemm_weight_t()
         scale = self.act_qparams.scale * self.weight_qparams.scale  # (out,)
         out = acc * scale.reshape((1,) * (acc.ndim - 1) + (-1,))
         if self.bias is not None:
@@ -275,11 +337,13 @@ class QuantConv2d(QuantizedLayer):
             return self._simulated_quantized_forward(x)
         n = x.shape[0]
         k = self.kernel_size
-        cols, (out_h, out_w) = im2col(x.data, (k, k), self.stride, self.padding)
-        q_cols = quantize(cols, self.act_qparams).astype(np.float64)
-        q_w = quantize(self.weight.data, self.weight_qparams).astype(np.float64)
-        w_mat = q_w.reshape(self.out_channels, -1)
-        acc = q_cols @ w_mat.T  # (N, P, out)
+        # Quantize the image before unfolding (k*k times less data than
+        # quantizing the columns); zero padding maps to quantized zero, so
+        # this commutes with im2col.  The gather doubles as the cast to the
+        # float64 GEMM dtype.
+        q_img = quantize(x.data, self.act_qparams)
+        q_cols, (out_h, out_w) = im2col_cast(q_img, (k, k), self.stride, self.padding)
+        acc = q_cols @ self._gemm_weight_t()  # (N, P, out)
         scale = self.act_qparams.scale * self.weight_qparams.scale
         out = acc * scale.reshape(1, 1, -1)
         if self.bias is not None:
@@ -299,7 +363,7 @@ class QuantConv2d(QuantizedLayer):
         from repro.tensor import functional as F
 
         dq_x = dequantize(quantize(x.data, self.act_qparams), self.act_qparams)
-        dq_w = dequantize(quantize(self.weight.data, self.weight_qparams), self.weight_qparams)
+        dq_w = dequantize(self.quantized_weight(), self.weight_qparams)
         bias = Tensor(self.bias.data) if self.bias is not None else None
         return F.conv2d(
             Tensor(dq_x), Tensor(dq_w), bias,

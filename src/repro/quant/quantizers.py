@@ -74,6 +74,28 @@ def quantize(values: np.ndarray, qparams: QuantParams) -> np.ndarray:
     return np.clip(q, qparams.qmin, qparams.qmax).astype(np.int32)
 
 
+def quantize_cast(
+    values: np.ndarray, qparams: QuantParams, dtype=np.float64
+) -> np.ndarray:
+    """:func:`quantize` fused with the cast to the GEMM dtype.
+
+    Skips the int32 detour of ``quantize(values, qparams).astype(dtype)``
+    while remaining bit-exact with it: the division and rounding happen in
+    float32 exactly as in :func:`quantize`, and the rounded, clipped values
+    are small integers representable exactly in every float dtype.  Used by
+    the prepared-kernel hot path, which quantizes activations on every
+    forward but must never pay avoidable extra passes.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    scale = qparams.broadcast_scale(values.ndim)
+    q = values / scale
+    np.round(q, out=q)
+    np.clip(q, qparams.qmin, qparams.qmax, out=q)
+    if dtype == np.float32:
+        return q
+    return q.astype(dtype)
+
+
 def dequantize(q: np.ndarray, qparams: QuantParams) -> np.ndarray:
     """Map integer values back to floats."""
     q = np.asarray(q)

@@ -151,28 +151,26 @@ class ServingSimulator:
                 batch_end = index + 1  # serve at least the request that triggered us
 
             if drop_after is not None:
-                kept = []
-                for request in range(index, batch_end):
-                    if start - arrivals[request] > drop_after:
-                        dropped += 1
-                        served[request] = True
-                        latencies[request] = np.nan
-                    else:
-                        kept.append(request)
-                if not kept:
+                window = np.arange(index, batch_end)
+                expired = (start - arrivals[window]) > drop_after
+                if expired.any():
+                    expired_indices = window[expired]
+                    dropped += int(expired.sum())
+                    served[expired_indices] = True
+                    latencies[expired_indices] = np.nan
+                batch_indices = window[~expired]
+                if batch_indices.size == 0:
                     index = batch_end
                     continue
-                batch_indices = kept
             else:
-                batch_indices = list(range(index, batch_end))
+                batch_indices = np.arange(index, batch_end)
 
             batch_size = len(batch_indices)
             current_ratio = ratio_schedule(start) if ratio_schedule else ratio
             service_time = self.service_model.batch_latency(batch_size, mode, current_ratio)
             finish = start + service_time
-            for request in batch_indices:
-                latencies[request] = finish - arrivals[request]
-                served[request] = True
+            latencies[batch_indices] = finish - arrivals[batch_indices]
+            served[batch_indices] = True
             batch_sizes.append(batch_size)
             server_free_at = finish
             index = batch_end

@@ -18,20 +18,14 @@ from repro.tensor.tensor import Tensor
 # ----------------------------------------------------------------------
 # im2col / col2im
 # ----------------------------------------------------------------------
-def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold ``x`` (N, C, H, W) into columns of shape (N, out_h*out_w, C*kh*kw)."""
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    out_h = (h + 2 * padding - kh) // stride + 1
-    out_w = (w + 2 * padding - kw) // stride + 1
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
+def _unfold_windows(
+    x_padded: np.ndarray, out_h: int, out_w: int, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Strided (N, C, out_h, out_w, kh, kw) window view of a padded image."""
+    n, c = x_padded.shape[:2]
+    strides = x_padded.strides
+    return np.lib.stride_tricks.as_strided(
+        x_padded,
         shape=(n, c, out_h, out_w, kh, kw),
         strides=(
             strides[0],
@@ -43,9 +37,54 @@ def im2col(
         ),
         writeable=False,
     )
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, out_h*out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    windows = _unfold_windows(x, out_h, out_w, kh, kw, stride)
     # (N, out_h, out_w, C, kh, kw) -> (N, out_h*out_w, C*kh*kw)
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
     return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def im2col_cast(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """:func:`im2col` fused with a dtype cast (single gather+convert pass).
+
+    Used by the quantized convolution hot path: the input is quantized
+    *before* unfolding (k*k times less data than quantizing the columns) and
+    the unavoidable gather copy doubles as the cast to the GEMM dtype.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        # Manual zero padding: np.pad's generic machinery costs more than the
+        # whole gather for the small images on this hot path.
+        padded = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+        )
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        x = padded
+
+    windows = _unfold_windows(x, out_h, out_w, kh, kw, stride)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).astype(dtype, order="C")
+    return cols.reshape(n, out_h * out_w, c * kh * kw), (out_h, out_w)
 
 
 def col2im(
