@@ -7,6 +7,14 @@ raises the 4-bit channel ratio whenever the profiled latency exceeds the
 target; the resulting latency and effective accuracy are compared against
 fixed INT8 and INT4 deployments.
 
+Everything below runs on the unified serving engine
+(:mod:`repro.serving.engine`) through the ``ServingSimulator`` /
+``AdaptiveServingSimulator`` compatibility wrappers: fixed deployments are a
+``ModeledExecutor`` with a ``FixedRatioPolicy``, the adaptive deployment
+wraps the controller in an ``AdaptiveRatioPolicy`` (``controller.as_policy``)
+-- swap in a ``RuntimeExecutor`` to drive a prepared ``FlexiQModel`` with
+real measured batch latencies under the same API.
+
 Run with:  python examples/adaptive_serving.py
 """
 

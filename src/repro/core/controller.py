@@ -116,6 +116,18 @@ class AdaptiveRatioController:
             return self.current_ratio
         return float(np.mean([entry["ratio"] for entry in self.history]))
 
+    def as_policy(self, control_window: float = 1.0):
+        """Adapt this controller to the serving engine's ratio-policy protocol.
+
+        Returns an :class:`repro.serving.policies.AdaptiveRatioPolicy` that
+        feeds the controller one observed-rate update per control window,
+        making it interchangeable with fixed-ratio and schedule policies
+        under :class:`repro.serving.engine.ServingEngine`.
+        """
+        from repro.serving.policies import AdaptiveRatioPolicy
+
+        return AdaptiveRatioPolicy(self, control_window=control_window)
+
 
 def build_profile_from_latency_fn(
     rates: Sequence[float],

@@ -83,6 +83,20 @@ class PreparedKernel:
     staleness can be detected with an ``is`` check, never a recompute.
     """
 
+    #: Process-wide count of :meth:`build` calls.  Serving tests snapshot it
+    #: around ratio-switching workloads to assert the single-variable-update
+    #: claim: steady-state serving must never rebuild a prepared kernel (no
+    #: weight requantization, re-permutation or plane lowering per batch).
+    build_count: int = 0
+
+    #: Process-wide count of lazy per-boundary constructions (combined
+    #: planes, channel tables, prefix indices).  These are cheap relative to
+    #: :meth:`build` but are exactly the plane-lowering work the O(1) switch
+    #: claim excludes — if a workload cycles through more boundaries than
+    #: ``_MAX_BOUNDARY_PLANES`` the LRU thrashes and this counter keeps
+    #: rising per batch, so serving gates assert it stays flat after warmup.
+    plane_build_count: int = 0
+
     def __init__(
         self,
         order: np.ndarray,
@@ -139,6 +153,7 @@ class PreparedKernel:
         act_shift = np.empty_like(plan.act_shift)
         act_shift[order] = plan.act_shift
 
+        PreparedKernel.build_count += 1
         w8_t = layer._gemm_weight_t()  # shared, cached (channels * taps, out)
         weight_shift_cols = np.repeat(weight_shift, taps)
         w_low = lower_bits(w8_t.T, weight_shift_cols[None, :], layer.low_bits)
@@ -177,6 +192,7 @@ class PreparedKernel:
         cached = self._prefix_cache.get(boundary)
         if cached is not None:
             return cached
+        PreparedKernel.plane_build_count += 1
         channels = self.order[:boundary]
         if self.taps == 1:
             prefix_cols = channels
@@ -200,6 +216,7 @@ class PreparedKernel:
         if cached is not None:
             self._boundary_planes.move_to_end(boundary)
             return cached
+        PreparedKernel.plane_build_count += 1
         total = self.channels * self.taps
         prefix_cols, shift_cols = self._prefix_info(boundary)
         if boundary == 0:
@@ -240,6 +257,7 @@ class PreparedKernel:
         cached = self._channel_tables.get(boundary)
         if cached is not None:
             return cached
+        PreparedKernel.plane_build_count += 1
         prefix = self.order[:boundary]
         inv = np.ones(self.channels, dtype=np.float32)
         inv[prefix] = np.ldexp(1.0, -self.act_shift[prefix]).astype(np.float32)

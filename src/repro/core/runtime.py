@@ -16,6 +16,7 @@ grouped shift-accumulate structure the real kernels use.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -432,6 +433,10 @@ class FlexiQModel:
         self.selections = selections
         self.group_size = group_size
         self.current_ratio: float = 0.0
+        # Ratio switches performed by forward_batch (the serving hot path);
+        # executors read deltas of this instead of re-deriving the switch
+        # condition themselves.
+        self.ratio_switches: int = 0
         self._flexiq_layers: List[Tuple[str, QuantizedLayer]] = [
             (name, module)
             for name, module in model.named_modules()
@@ -490,6 +495,32 @@ class FlexiQModel:
 
     def forward(self, *args, **kwargs):
         return self.model(*args, **kwargs)
+
+    def forward_batch(
+        self, x, ratio: Optional[float] = None
+    ) -> Tuple[Tensor, float]:
+        """Serve one batch: optional ratio switch, one forward, measured time.
+
+        This is the serving engine's batch-forward hook
+        (:class:`repro.serving.executors.RuntimeExecutor` calls it once per
+        batch): the ratio switch is the O(1) per-layer variable update, the
+        forward runs on the prepared kernels, and the returned wall-clock
+        seconds stand in for the accelerator's batch service time.
+        """
+        if ratio is not None:
+            if float(ratio) != self.current_ratio:
+                self.ratio_switches += 1
+            # Always apply, even when the ratio looks unchanged: it is a
+            # handful of O(1) boundary updates, and it resynchronizes layers
+            # whose boundaries were moved behind the model's back (direct
+            # layer.set_boundary calls, freshly constructed models whose
+            # current_ratio was never materialized).
+            self.set_ratio(ratio)
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float32))
+        start = time.perf_counter()
+        output = self.model(x)
+        return output, time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Reporting

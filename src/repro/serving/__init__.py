@@ -1,29 +1,83 @@
-"""Inference-serving simulation: queueing, batching and ratio adaptation.
+"""Inference serving: one engine for modeled *and* real batched execution.
 
-Used for the end-to-end latency experiments of Figures 8 and 9: requests
-arrive according to a trace (Poisson or fluctuating), are batched FIFO onto a
-single accelerator whose per-batch service time comes from the hardware
-latency models, and the resulting response-time distribution is reported.
-The adaptive experiments additionally run the FlexiQ ratio controller, which
-raises or lowers the 4-bit ratio as the observed request rate changes.
+The package is organised around :mod:`repro.serving.engine`:
+
+* :class:`~repro.serving.engine.ServingEngine` owns admission, FIFO batching
+  on a shared accelerator, per-batch 4-bit-ratio selection and metrics, with
+  :class:`~repro.serving.engine.Request` / :class:`~repro.serving.engine.
+  Response` dataclasses as the request/response surface and a multi-model
+  registry (one endpoint per model, batches never mix models).
+* **Executors** (:mod:`repro.serving.executors`) decide what a batch costs:
+  :class:`~repro.serving.executors.ModeledExecutor` uses the analytic
+  :class:`~repro.serving.simulator.ServiceTimeModel` latency tables, while
+  :class:`~repro.serving.executors.RuntimeExecutor` runs real forwards
+  through a prepared :class:`~repro.core.runtime.FlexiQModel` and measures
+  wall-clock batch latencies — switching the 4-bit ratio per batch is an
+  O(1) variable update thanks to the prepared-kernel cache.
+* **Policies** (:mod:`repro.serving.policies`) pick the ratio per batch:
+  fixed, schedule-driven, round-robin, or the paper's
+  :class:`~repro.core.controller.AdaptiveRatioController` adapted through
+  :class:`~repro.serving.policies.AdaptiveRatioPolicy`.
+
+The Figure 8 experiment (latency vs Poisson request rate) is a
+``ModeledExecutor`` + ``FixedRatioPolicy`` run; Figure 9 (fluctuating load
+with per-window adaptation) is ``ModeledExecutor`` + ``AdaptiveRatioPolicy``.
+:class:`~repro.serving.simulator.ServingSimulator` and
+:class:`~repro.serving.adaptation.AdaptiveServingSimulator` remain as thin,
+bit-identical compatibility wrappers running exactly those configurations.
 """
 
-from repro.serving.simulator import (
+from repro.serving.engine import (
+    Batch,
+    BatchExecution,
+    BatchRecord,
     BatchingConfig,
+    EngineResult,
+    Executor,
+    RatioPolicy,
+    Request,
+    Response,
+    ServingEngine,
+    requests_from_trace,
+)
+from repro.serving.executors import ModeledExecutor, RuntimeExecutor
+from repro.serving.policies import (
+    AdaptiveRatioPolicy,
+    FixedRatioPolicy,
+    RatioSchedulePolicy,
+    RoundRobinRatioPolicy,
+)
+from repro.serving.simulator import (
+    ServiceTimeModel,
     ServingResult,
     ServingSimulator,
-    ServiceTimeModel,
 )
 from repro.serving.metrics import latency_percentiles, summarize_latencies
 from repro.serving.adaptation import AdaptiveServingSimulator, AdaptiveServingResult
 
 __all__ = [
+    "AdaptiveRatioPolicy",
     "AdaptiveServingResult",
     "AdaptiveServingSimulator",
+    "Batch",
+    "BatchExecution",
+    "BatchRecord",
     "BatchingConfig",
+    "EngineResult",
+    "Executor",
+    "FixedRatioPolicy",
+    "ModeledExecutor",
+    "RatioPolicy",
+    "RatioSchedulePolicy",
+    "Request",
+    "Response",
+    "RoundRobinRatioPolicy",
+    "RuntimeExecutor",
     "ServiceTimeModel",
+    "ServingEngine",
     "ServingResult",
     "ServingSimulator",
     "latency_percentiles",
+    "requests_from_trace",
     "summarize_latencies",
 ]

@@ -1,24 +1,34 @@
 """Adaptive serving: FlexiQ's dynamic 4-bit ratio control under load (Fig. 9).
 
-The simulator divides time into control windows; at every window boundary the
+The engine divides time into control windows; at every window boundary the
 :class:`~repro.core.controller.AdaptiveRatioController` observes the request
 rate of the previous window and picks the 4-bit ratio for the next one.  The
 resulting latency distribution is compared against fixed INT8 and INT4
 deployments, and the effective accuracy is the ratio-weighted average of the
 per-ratio accuracies measured offline (Table 2).
+
+:class:`AdaptiveServingSimulator` is a compatibility wrapper over
+:class:`~repro.serving.engine.ServingEngine`: the controller rides in an
+:class:`~repro.serving.policies.AdaptiveRatioPolicy` (via
+:meth:`~repro.core.controller.AdaptiveRatioController.as_policy`), execution
+goes through a :class:`~repro.serving.executors.ModeledExecutor`, and the
+window/timeline bookkeeping that used to live here is read back off the
+policy.  Results are bit-identical to the seed implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.controller import AdaptiveRatioController, LatencyProfile
+from repro.core.controller import AdaptiveRatioController
 from repro.data.traces import RequestTrace
-from repro.serving.metrics import summarize_latencies
-from repro.serving.simulator import BatchingConfig, ServiceTimeModel, ServingSimulator
+from repro.serving.engine import BatchingConfig, ServingEngine
+from repro.serving.executors import ModeledExecutor
+from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.simulator import ServiceTimeModel
 
 
 @dataclass
@@ -36,7 +46,7 @@ class AdaptiveServingResult:
 
     @property
     def median_latency(self) -> float:
-        return float(np.percentile(self.latencies, 50)) if self.latencies.size else float("nan")
+        return latency_percentiles(self.latencies, (50,))["p50"]
 
 
 class AdaptiveServingSimulator:
@@ -46,12 +56,14 @@ class AdaptiveServingSimulator:
         self,
         service_model: ServiceTimeModel,
         controller: AdaptiveRatioController,
-        batching: BatchingConfig = BatchingConfig(),
+        batching: Optional[BatchingConfig] = None,
         control_window: float = 1.0,
     ) -> None:
         self.service_model = service_model
         self.controller = controller
-        self.batching = batching
+        # A fresh config per instance: a shared mutable default would leak
+        # max_batch/drop_after edits across simulators.
+        self.batching = batching if batching is not None else BatchingConfig()
         self.control_window = float(control_window)
 
     def run(
@@ -64,34 +76,25 @@ class AdaptiveServingSimulator:
         ``accuracy_by_ratio`` (e.g. the Table 2 sweep) lets the result report
         the time-averaged effective accuracy of the adaptive deployment.
         """
-        num_windows = int(np.ceil(trace.duration / self.control_window))
-        window_ratios = np.zeros(num_windows, dtype=np.float64)
-        timeline: List[Dict[str, float]] = []
+        policy = self.controller.as_policy(control_window=self.control_window)
+        engine = ServingEngine(batching=self.batching)
+        engine.register(
+            self.service_model.model_name,
+            ModeledExecutor(self.service_model),
+            policy=policy,
+            mode="flexiq",
+        )
+        outcome = engine.run(trace=trace)
 
-        for window in range(num_windows):
-            start = window * self.control_window
-            end = min(start + self.control_window, trace.duration)
-            observed_rate = trace.rate_in_window(start, end)
-            ratio = self.controller.update(observed_rate)
-            window_ratios[window] = ratio
-            timeline.append({"start": start, "rate": observed_rate, "ratio": ratio})
-
-        def ratio_schedule(time: float) -> float:
-            window = min(int(time / self.control_window), num_windows - 1)
-            return float(window_ratios[window])
-
-        simulator = ServingSimulator(self.service_model, self.batching)
-        result = simulator.run(trace, mode="flexiq", ratio_schedule=ratio_schedule)
-
-        average_ratio = float(np.mean(window_ratios)) if num_windows else 0.0
+        window_ratios = policy.window_ratios
         effective_accuracy = None
         if accuracy_by_ratio:
             effective_accuracy = _effective_accuracy(window_ratios, accuracy_by_ratio)
 
         return AdaptiveServingResult(
-            latencies=result.latencies,
-            ratio_timeline=timeline,
-            average_ratio=average_ratio,
+            latencies=outcome.latencies,
+            ratio_timeline=policy.timeline,
+            average_ratio=policy.average_ratio,
             effective_accuracy=effective_accuracy,
             duration=trace.duration,
         )
@@ -104,11 +107,14 @@ def _effective_accuracy(
 
     Ratios not present in the table are mapped to the nearest configured
     ratio (the runtime only ever uses configured ratios, but guard anyway).
+    Vectorized: one broadcast ``argmin`` over the |windows| x |ratios|
+    difference matrix instead of a per-window Python loop; ties resolve to
+    the lowest index, exactly like the sequential ``np.argmin``.
     """
+    window_ratios = np.asarray(window_ratios, dtype=np.float64)
+    if window_ratios.size == 0:
+        return float("nan")
     ratios = np.asarray(sorted(accuracy_by_ratio))
     accuracies = np.asarray([accuracy_by_ratio[r] for r in ratios])
-    values = []
-    for ratio in window_ratios:
-        index = int(np.argmin(np.abs(ratios - ratio)))
-        values.append(accuracies[index])
-    return float(np.mean(values)) if values else float("nan")
+    nearest = np.argmin(np.abs(ratios[None, :] - window_ratios[:, None]), axis=1)
+    return float(np.mean(accuracies[nearest]))

@@ -1,0 +1,547 @@
+"""Unified serving engine: one request/response surface for modeled and real execution.
+
+The engine consolidates the serving story of Figures 8 and 9 behind a single
+API.  A :class:`ServingEngine` owns admission, FIFO batching on one (shared,
+simulated) accelerator, per-batch 4-bit-ratio selection and metrics; *what*
+executes a batch and *which* ratio it runs at are pluggable:
+
+* :class:`Executor` — turns one :class:`Batch` into a service time (and
+  optionally per-request outputs).  :class:`~repro.serving.executors.
+  ModeledExecutor` wraps the analytic :class:`~repro.serving.simulator.
+  ServiceTimeModel` (the paper's Figure 8/9 setup, bit-identical to the seed
+  simulator); :class:`~repro.serving.executors.RuntimeExecutor` wraps a
+  prepared :class:`~repro.core.runtime.FlexiQModel` and measures real
+  wall-clock batch latencies.
+* :class:`RatioPolicy` — picks the 4-bit ratio for each batch.  Fixed-ratio,
+  ratio-schedule and :class:`~repro.core.controller.AdaptiveRatioController`
+  deployments are interchangeable policies (see
+  :mod:`repro.serving.policies`).
+
+Several models can be registered on one engine (multi-model serving on a
+shared accelerator): each request names its model, batches are formed from
+head-of-line runs of same-model requests, and every model keeps its own
+executor and policy — with a :class:`~repro.serving.executors.
+RuntimeExecutor` per model that means one prepared-kernel cache each, and a
+per-batch ``set_ratio()`` that stays an O(1) variable update.
+
+The discrete-event loop reproduces the seed ``ServingSimulator`` semantics
+exactly (same admission, batch-cap, drop and float arithmetic), so the
+compatibility wrappers in :mod:`repro.serving.simulator` and
+:mod:`repro.serving.adaptation` return bit-identical latencies for the
+Figure 8/9 reproductions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.data.traces import RequestTrace
+from repro.serving.metrics import latency_percentiles, summarize_latencies
+
+
+@dataclass
+class BatchingConfig:
+    """Batching policy of the serving system."""
+
+    max_batch: int = 64
+    # A request admitted while the server is busy waits in an unbounded FIFO
+    # queue; ``drop_after`` (seconds) optionally drops requests that waited
+    # longer than this (disabled by default, as in the paper).
+    drop_after: Optional[float] = None
+
+
+@dataclass
+class Request:
+    """One inference request entering the engine.
+
+    ``payload`` carries the actual model input for real execution (a single
+    sample, e.g. a ``(C, H, W)`` image); modeled execution needs only the
+    arrival time.  ``request_id`` defaults to the admission index.
+    """
+
+    arrival_time: float
+    model: str = "default"
+    request_id: int = -1
+    payload: Optional[np.ndarray] = None
+
+
+@dataclass
+class Response:
+    """Outcome of one request: timing, the batch it rode in, and its output."""
+
+    request_id: int
+    model: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    batch_size: int
+    ratio: float
+    mode: str
+    dropped: bool = False
+    output: Any = None
+
+    @property
+    def latency(self) -> float:
+        """Response time: queueing delay plus batch service time (seconds)."""
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class Batch:
+    """One FIFO batch handed to an :class:`Executor`.
+
+    ``requests`` is populated when the engine was given explicit
+    :class:`Request` objects (so executors can read payloads); trace-driven
+    runs pass only the size, which is all modeled execution needs.
+    """
+
+    model: str
+    start_time: float
+    size: int
+    indices: np.ndarray
+    requests: Optional[Sequence[Request]] = None
+
+
+@dataclass
+class BatchExecution:
+    """What an executor reports back for one batch.
+
+    ``service_time`` is the batch duration in seconds — analytic for modeled
+    execution, measured wall-clock for real execution.  ``outputs`` optionally
+    holds one entry per request of the batch, in batch order.  ``ratio``
+    reports the ratio the batch *actually* executed at when the executor
+    overrides the policy-selected one (e.g. ``RuntimeExecutor`` pinning
+    ``"int8"``/``"int4"`` modes); ``None`` means the selected ratio ran.
+    """
+
+    service_time: float
+    outputs: Optional[Sequence[Any]] = None
+    ratio: Optional[float] = None
+
+
+class Executor(Protocol):
+    """Executes one batch for one model; see :mod:`repro.serving.executors`."""
+
+    def execute(self, batch: Batch, mode: str, ratio: float) -> BatchExecution:
+        ...
+
+
+class RatioPolicy(Protocol):
+    """Selects the 4-bit ratio for each batch; see :mod:`repro.serving.policies`."""
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        """Observe the admitted trace for this model before serving starts."""
+        ...
+
+    def select(self, time: float) -> float:
+        """Ratio for a batch whose service starts at ``time``."""
+        ...
+
+
+@dataclass
+class BatchRecord:
+    """Per-batch accounting: what ran, when, at which ratio."""
+
+    model: str
+    start: float
+    finish: float
+    size: int
+    ratio: float
+    mode: str
+
+
+@dataclass
+class _Endpoint:
+    """One registered model: executor + policy + execution mode."""
+
+    name: str
+    executor: Executor
+    policy: RatioPolicy
+    mode: str
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run.
+
+    ``latencies`` holds the served requests' response times in arrival order
+    (dropped requests excluded); ``request_latencies`` keeps one slot per
+    admitted request with ``nan`` marking drops, aligned with
+    ``request_models`` for per-model breakdowns.
+    """
+
+    latencies: np.ndarray
+    request_latencies: np.ndarray
+    request_models: Optional[List[str]]
+    batch_records: List[BatchRecord]
+    dropped: int
+    duration: float
+    busy_time: float
+    responses: Optional[List[Response]] = None
+    _single_model: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Batch-level views
+    # ------------------------------------------------------------------
+    @property
+    def batch_sizes(self) -> List[int]:
+        return [record.size for record in self.batch_records]
+
+    @property
+    def batch_ratios(self) -> List[float]:
+        return [record.ratio for record in self.batch_records]
+
+    # ------------------------------------------------------------------
+    # Latency statistics
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.latencies)
+
+    @property
+    def median_latency(self) -> float:
+        return latency_percentiles(self.latencies, (50,))["p50"]
+
+    @property
+    def p90_latency(self) -> float:
+        return latency_percentiles(self.latencies, (90,))["p90"]
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per second of trace time."""
+        if self.duration <= 0:
+            return 0.0
+        return len(self.latencies) / self.duration
+
+    @property
+    def requests_per_busy_second(self) -> float:
+        """Served requests per second of accelerator busy time.
+
+        For :class:`~repro.serving.executors.RuntimeExecutor` runs this is
+        the real sustained throughput of the serving hot path.
+        """
+        if self.busy_time <= 0:
+            return 0.0
+        return len(self.latencies) / self.busy_time
+
+    def for_model(self, name: str) -> np.ndarray:
+        """Served latencies of one registered model, in arrival order."""
+        served = ~np.isnan(self.request_latencies)
+        if self.request_models is None:
+            if self._single_model is not None and name != self._single_model:
+                return np.zeros(0, dtype=np.float64)
+            return self.request_latencies[served]
+        mask = served & (np.asarray(self.request_models) == name)
+        return self.request_latencies[mask]
+
+
+def requests_from_trace(
+    trace: RequestTrace,
+    model: str = "default",
+    payloads: Optional[Sequence[np.ndarray]] = None,
+) -> List[Request]:
+    """Materialize :class:`Request` objects from an arrival-time trace.
+
+    ``payloads`` optionally attaches model inputs round-robin (real execution
+    of a trace longer than the available sample pool reuses samples).
+    """
+    if payloads is not None and len(payloads) == 0:
+        raise ValueError("payloads must be non-empty (or None for no payloads)")
+    requests = []
+    for i, arrival in enumerate(np.sort(np.asarray(trace.arrival_times, dtype=np.float64))):
+        payload = payloads[i % len(payloads)] if payloads is not None else None
+        requests.append(
+            Request(arrival_time=float(arrival), model=model, request_id=i, payload=payload)
+        )
+    return requests
+
+
+class ServingEngine:
+    """FIFO-batching discrete-event serving engine for a shared accelerator.
+
+    Register one endpoint per model with :meth:`register`, then :meth:`run`
+    either a :class:`~repro.data.traces.RequestTrace` (single-model, modeled
+    runs — no per-request objects are materialized, keeping million-request
+    sweeps cheap) or an explicit list of :class:`Request` objects (multi-model
+    and real execution).
+    """
+
+    def __init__(self, batching: Optional[BatchingConfig] = None) -> None:
+        self.batching = batching if batching is not None else BatchingConfig()
+        self._endpoints: Dict[str, _Endpoint] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        executor: Executor,
+        policy: Optional[RatioPolicy] = None,
+        mode: str = "flexiq",
+    ) -> None:
+        """Register a model endpoint (executor + ratio policy + mode)."""
+        from repro.serving.policies import FixedRatioPolicy
+
+        if policy is None:
+            policy = FixedRatioPolicy(0.0)
+        self._endpoints[name] = _Endpoint(name, executor, policy, mode)
+
+    @property
+    def models(self) -> List[str]:
+        return list(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Optional[RequestTrace] = None,
+        requests: Optional[Sequence[Request]] = None,
+        model: Optional[str] = None,
+        duration: Optional[float] = None,
+        record_responses: Optional[bool] = None,
+    ) -> EngineResult:
+        """Serve a trace or an explicit request list to completion.
+
+        Exactly one of ``trace`` and ``requests`` must be given.  ``model``
+        names the endpoint a trace targets (optional when only one is
+        registered).  ``duration`` sets the result's time span for
+        throughput; it defaults to the trace duration, or to the makespan
+        (time until the last batch finishes) for explicit request lists.
+        ``record_responses`` materializes per-request :class:`Response`
+        objects; it defaults to on for explicit requests and off for traces
+        (where only the latency arrays are needed).
+        """
+        if (trace is None) == (requests is None):
+            raise ValueError("provide exactly one of trace or requests")
+        if not self._endpoints:
+            raise RuntimeError("no model endpoints registered")
+
+        if trace is not None:
+            if model is None:
+                if len(self._endpoints) != 1:
+                    raise ValueError(
+                        "model= is required when several models are registered"
+                    )
+                model = next(iter(self._endpoints))
+            if model not in self._endpoints:
+                raise KeyError(f"model {model!r} is not registered")
+            arrivals = np.sort(np.asarray(trace.arrival_times, dtype=np.float64))
+            request_objs: Optional[List[Request]] = None
+            single_model: Optional[str] = model
+            run_duration = trace.duration if duration is None else float(duration)
+        else:
+            order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
+            request_objs = [requests[i] for i in order]
+            if model is not None and model not in self._endpoints:
+                raise KeyError(f"model {model!r} is not registered")
+            for request in request_objs:
+                if request.model not in self._endpoints:
+                    raise KeyError(f"model {request.model!r} is not registered")
+                if model is not None and request.model != model:
+                    raise ValueError(
+                        f"model={model!r} conflicts with a request for "
+                        f"{request.model!r}; omit model= for multi-model "
+                        "request lists"
+                    )
+            arrivals = np.asarray(
+                [request.arrival_time for request in request_objs], dtype=np.float64
+            )
+            models_present = {request.model for request in request_objs}
+            single_model = models_present.pop() if len(models_present) == 1 else None
+            # Without an explicit duration the run spans until the last batch
+            # finishes (makespan, filled in by _serve); policies windowing
+            # over admissions see the arrival horizon.
+            run_duration = float(duration) if duration is not None else None
+
+        if record_responses is None:
+            record_responses = request_objs is not None
+
+        policy_horizon = run_duration
+        if policy_horizon is None:
+            policy_horizon = float(arrivals[-1]) if len(arrivals) else 0.0
+        self._start_policies(arrivals, request_objs, single_model, trace, policy_horizon)
+        return self._serve(
+            arrivals, request_objs, single_model, run_duration, record_responses
+        )
+
+    def _start_policies(
+        self,
+        arrivals: np.ndarray,
+        request_objs: Optional[List[Request]],
+        single_model: Optional[str],
+        trace: Optional[RequestTrace],
+        duration: float,
+    ) -> None:
+        """Show every involved policy its model's admitted trace."""
+        for name, endpoint in self._endpoints.items():
+            if single_model is not None:
+                if name != single_model:
+                    continue
+                sub = trace if trace is not None else RequestTrace(arrivals, duration)
+            else:
+                mask = np.asarray([r.model == name for r in request_objs])
+                if not mask.any():
+                    continue
+                sub = RequestTrace(arrivals[mask], duration)
+            endpoint.policy.on_run_start(sub)
+
+    def _serve(
+        self,
+        arrivals: np.ndarray,
+        request_objs: Optional[List[Request]],
+        single_model: Optional[str],
+        duration: Optional[float],
+        record_responses: bool,
+    ) -> EngineResult:
+        num_requests = len(arrivals)
+        latencies = np.zeros(num_requests, dtype=np.float64)
+        records: List[BatchRecord] = []
+        responses: Optional[List[Optional[Response]]] = (
+            [None] * num_requests if record_responses else None
+        )
+        dropped = 0
+        busy_time = 0.0
+
+        server_free_at = 0.0
+        index = 0
+        max_batch = self.batching.max_batch
+        drop_after = self.batching.drop_after
+
+        while index < num_requests:
+            first_arrival = arrivals[index]
+            start = max(server_free_at, first_arrival)
+            # All requests that have arrived by the time the server starts,
+            # capped by the batch size limit.
+            end_index = bisect.bisect_right(arrivals, start, lo=index)
+            limit = min(end_index, index + max_batch)
+            if limit == index:
+                limit = index + 1  # serve at least the request that triggered us
+
+            if request_objs is None:
+                head_model = single_model
+                batch_end = limit
+            else:
+                # Head-of-line batching: a batch is a FIFO run of consecutive
+                # requests for the same model (batches never mix models).
+                head_model = request_objs[index].model
+                batch_end = index + 1
+                while batch_end < limit and request_objs[batch_end].model == head_model:
+                    batch_end += 1
+
+            endpoint = self._endpoints[head_model]
+            if drop_after is not None:
+                window = np.arange(index, batch_end)
+                expired = (start - arrivals[window]) > drop_after
+                if expired.any():
+                    expired_indices = window[expired]
+                    dropped += int(expired.sum())
+                    latencies[expired_indices] = np.nan
+                    if responses is not None:
+                        for i in expired_indices:
+                            responses[i] = self._response(
+                                request_objs, i, arrivals, head_model, start,
+                                float("nan"), 0, float("nan"),
+                                mode=endpoint.mode, dropped=True,
+                            )
+                batch_indices = window[~expired]
+                if batch_indices.size == 0:
+                    index = batch_end
+                    continue
+            else:
+                batch_indices = np.arange(index, batch_end)
+
+            batch_size = len(batch_indices)
+            ratio = float(endpoint.policy.select(start))
+            batch = Batch(
+                model=head_model,
+                start_time=start,
+                size=batch_size,
+                indices=batch_indices,
+                requests=(
+                    [request_objs[i] for i in batch_indices]
+                    if request_objs is not None
+                    else None
+                ),
+            )
+            execution = endpoint.executor.execute(batch, endpoint.mode, ratio)
+            service_time = float(execution.service_time)
+            # Record the ratio the batch actually ran at, which executors may
+            # override (mode pinning); metrics built on batch_ratios must
+            # reflect executed configurations, not requested ones.
+            if execution.ratio is not None:
+                ratio = float(execution.ratio)
+            finish = start + service_time
+            latencies[batch_indices] = finish - arrivals[batch_indices]
+            records.append(
+                BatchRecord(head_model, start, finish, batch_size, ratio, endpoint.mode)
+            )
+            if responses is not None:
+                outputs = execution.outputs
+                for position, i in enumerate(batch_indices):
+                    responses[i] = self._response(
+                        request_objs, i, arrivals, head_model, start, finish,
+                        batch_size, ratio, mode=endpoint.mode,
+                        output=outputs[position] if outputs is not None else None,
+                    )
+            busy_time += service_time
+            server_free_at = finish
+            index = batch_end
+
+        if duration is None:
+            # Makespan: from time zero until the accelerator went idle (or
+            # the last arrival, if everything after it was dropped).
+            last_arrival = float(arrivals[-1]) if num_requests else 0.0
+            duration = max(server_free_at, last_arrival)
+        valid = latencies[~np.isnan(latencies)]
+        request_models = (
+            [request.model for request in request_objs]
+            if request_objs is not None
+            else None
+        )
+        return EngineResult(
+            latencies=valid,
+            request_latencies=latencies,
+            request_models=request_models,
+            batch_records=records,
+            dropped=dropped,
+            duration=duration,
+            busy_time=busy_time,
+            responses=responses,
+            _single_model=single_model,
+        )
+
+    def _response(
+        self,
+        request_objs: Optional[List[Request]],
+        index: int,
+        arrivals: np.ndarray,
+        model: str,
+        start: float,
+        finish: float,
+        batch_size: int,
+        ratio: float,
+        mode: str = "",
+        dropped: bool = False,
+        output: Any = None,
+    ) -> Response:
+        request = request_objs[index] if request_objs is not None else None
+        request_id = index
+        if request is not None and request.request_id >= 0:
+            request_id = request.request_id
+        return Response(
+            request_id=request_id,
+            model=model,
+            arrival_time=float(arrivals[index]),
+            start_time=start,
+            finish_time=finish,
+            batch_size=batch_size,
+            ratio=ratio,
+            mode=mode,
+            dropped=dropped,
+            output=output,
+        )

@@ -1,0 +1,116 @@
+"""Ratio policies: interchangeable per-batch 4-bit-ratio selection strategies.
+
+Every policy implements the :class:`~repro.serving.engine.RatioPolicy`
+protocol: the engine shows it the model's admitted trace once per run
+(:meth:`on_run_start`) and then asks for a ratio per batch
+(:meth:`select`).  Fixed-ratio, schedule-driven and controller-driven
+deployments are thereby interchangeable under one engine — the API
+consolidation that used to be spread across ``ServingSimulator`` arguments
+(``ratio`` vs ``ratio_schedule``) and ``AdaptiveServingSimulator``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.traces import RequestTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import AdaptiveRatioController
+
+
+class FixedRatioPolicy:
+    """Always run at one 4-bit ratio (the fixed deployments of Figure 8)."""
+
+    def __init__(self, ratio: float = 0.0) -> None:
+        self.ratio = float(ratio)
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        pass
+
+    def select(self, time: float) -> float:
+        return self.ratio
+
+
+class RatioSchedulePolicy:
+    """Ratio from an arbitrary ``time -> ratio`` schedule callable."""
+
+    def __init__(self, schedule: Callable[[float], float]) -> None:
+        self.schedule = schedule
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        pass
+
+    def select(self, time: float) -> float:
+        return float(self.schedule(time))
+
+
+class RoundRobinRatioPolicy:
+    """Cycle through a ratio list, one step per batch.
+
+    Serving tests and benchmarks use this to drive heterogeneous-ratio batch
+    streams through a :class:`~repro.serving.executors.RuntimeExecutor`:
+    every batch switches the prepared runtime to the next ratio, which must
+    stay an O(1) variable update (no weight requantization).
+    """
+
+    def __init__(self, ratios: Sequence[float]) -> None:
+        if not len(ratios):
+            raise ValueError("ratios must be non-empty")
+        self.ratios = [float(r) for r in ratios]
+        self._next = 0
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        self._next = 0
+
+    def select(self, time: float) -> float:
+        ratio = self.ratios[self._next % len(self.ratios)]
+        self._next += 1
+        return ratio
+
+
+class AdaptiveRatioPolicy:
+    """Per-window adaptation driven by an :class:`AdaptiveRatioController`.
+
+    Reproduces the Figure 9 control loop exactly as the seed
+    ``AdaptiveServingSimulator`` did: the trace is divided into control
+    windows; at every window boundary the controller observes the window's
+    request rate and picks the ratio for that window.  ``window_ratios`` and
+    ``timeline`` expose the resulting plan for reporting (average ratio,
+    effective accuracy).
+    """
+
+    def __init__(
+        self, controller: "AdaptiveRatioController", control_window: float = 1.0
+    ) -> None:
+        self.controller = controller
+        self.control_window = float(control_window)
+        self.window_ratios: np.ndarray = np.zeros(0, dtype=np.float64)
+        self.timeline: List[Dict[str, float]] = []
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        num_windows = int(np.ceil(trace.duration / self.control_window))
+        self.window_ratios = np.zeros(num_windows, dtype=np.float64)
+        self.timeline = []
+        for window in range(num_windows):
+            start = window * self.control_window
+            end = min(start + self.control_window, trace.duration)
+            observed_rate = trace.rate_in_window(start, end)
+            ratio = self.controller.update(observed_rate)
+            self.window_ratios[window] = ratio
+            self.timeline.append({"start": start, "rate": observed_rate, "ratio": ratio})
+
+    def select(self, time: float) -> float:
+        if self.window_ratios.size == 0:
+            return float(self.controller.current_ratio)
+        window = min(int(time / self.control_window), self.window_ratios.size - 1)
+        return float(self.window_ratios[window])
+
+    @property
+    def average_ratio(self) -> float:
+        """Time-averaged ratio over the current run's control windows."""
+        if self.window_ratios.size == 0:
+            return 0.0
+        return float(np.mean(self.window_ratios))

@@ -1,4 +1,13 @@
-"""Discrete-event serving simulator with FIFO batching.
+"""Modeled FIFO-batching serving (Figure 8) on top of the serving engine.
+
+This module keeps the seed's public surface — :class:`ServiceTimeModel`,
+:class:`BatchingConfig`, :class:`ServingResult`, :class:`ServingSimulator` —
+but the discrete-event loop now lives in :class:`~repro.serving.engine.
+ServingEngine`; :class:`ServingSimulator` is a thin compatibility wrapper
+that registers a :class:`~repro.serving.executors.ModeledExecutor` and the
+matching ratio policy.  The wrapper is bit-identical to the seed simulator:
+same admission, batch-cap, drop and float arithmetic (asserted by the
+equivalence tests in ``tests/test_serving_engine.py``).
 
 The simulated system matches the setup behind Figure 8: an open-loop request
 stream hits a single accelerator; whenever the accelerator is idle it takes
@@ -10,8 +19,7 @@ the service time of the batch it rode in.
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -19,18 +27,10 @@ import numpy as np
 from repro.data.traces import RequestTrace
 from repro.hardware.gpu import GpuLatencyModel
 from repro.hardware.workloads import LayerOp, model_ops
-from repro.serving.metrics import summarize_latencies
-
-
-@dataclass
-class BatchingConfig:
-    """Batching policy of the serving system."""
-
-    max_batch: int = 64
-    # A request admitted while the server is busy waits in an unbounded FIFO
-    # queue; ``drop_after`` (seconds) optionally drops requests that waited
-    # longer than this (disabled by default, as in the paper).
-    drop_after: Optional[float] = None
+from repro.serving.engine import BatchingConfig, ServingEngine
+from repro.serving.executors import ModeledExecutor
+from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.policies import FixedRatioPolicy, RatioSchedulePolicy
 
 
 class ServiceTimeModel:
@@ -92,11 +92,11 @@ class ServingResult:
 
     @property
     def median_latency(self) -> float:
-        return float(np.percentile(self.latencies, 50)) if self.latencies.size else float("nan")
+        return latency_percentiles(self.latencies, (50,))["p50"]
 
     @property
     def p90_latency(self) -> float:
-        return float(np.percentile(self.latencies, 90)) if self.latencies.size else float("nan")
+        return latency_percentiles(self.latencies, (90,))["p90"]
 
     @property
     def throughput(self) -> float:
@@ -106,15 +106,23 @@ class ServingResult:
 
 
 class ServingSimulator:
-    """FIFO-batching discrete-event simulator for a single accelerator."""
+    """FIFO-batching discrete-event simulator for a single accelerator.
+
+    Compatibility wrapper over :class:`~repro.serving.engine.ServingEngine`:
+    each :meth:`run` registers the service model behind a
+    :class:`ModeledExecutor` with a fixed-ratio or schedule policy and
+    returns the engine outcome as a classic :class:`ServingResult`.
+    """
 
     def __init__(
         self,
         service_model: ServiceTimeModel,
-        batching: BatchingConfig = BatchingConfig(),
+        batching: Optional[BatchingConfig] = None,
     ) -> None:
         self.service_model = service_model
-        self.batching = batching
+        # A fresh config per instance: a shared mutable default would leak
+        # max_batch/drop_after edits across simulators.
+        self.batching = batching if batching is not None else BatchingConfig()
 
     def run(
         self,
@@ -129,57 +137,22 @@ class ServingSimulator:
         (used by the adaptive experiments); when provided it overrides the
         fixed ``ratio``.
         """
-        arrivals = np.sort(np.asarray(trace.arrival_times, dtype=np.float64))
-        num_requests = len(arrivals)
-        latencies = np.zeros(num_requests, dtype=np.float64)
-        served = np.zeros(num_requests, dtype=bool)
-        batch_sizes: List[int] = []
-        dropped = 0
-
-        server_free_at = 0.0
-        index = 0
-        max_batch = self.batching.max_batch
-        drop_after = self.batching.drop_after
-
-        while index < num_requests:
-            first_arrival = arrivals[index]
-            start = max(server_free_at, first_arrival)
-            # All requests that have arrived by the time the server starts.
-            end_index = bisect.bisect_right(arrivals, start, lo=index)
-            batch_end = min(end_index, index + max_batch)
-            if batch_end == index:
-                batch_end = index + 1  # serve at least the request that triggered us
-
-            if drop_after is not None:
-                window = np.arange(index, batch_end)
-                expired = (start - arrivals[window]) > drop_after
-                if expired.any():
-                    expired_indices = window[expired]
-                    dropped += int(expired.sum())
-                    served[expired_indices] = True
-                    latencies[expired_indices] = np.nan
-                batch_indices = window[~expired]
-                if batch_indices.size == 0:
-                    index = batch_end
-                    continue
-            else:
-                batch_indices = np.arange(index, batch_end)
-
-            batch_size = len(batch_indices)
-            current_ratio = ratio_schedule(start) if ratio_schedule else ratio
-            service_time = self.service_model.batch_latency(batch_size, mode, current_ratio)
-            finish = start + service_time
-            latencies[batch_indices] = finish - arrivals[batch_indices]
-            served[batch_indices] = True
-            batch_sizes.append(batch_size)
-            server_free_at = finish
-            index = batch_end
-
-        valid = latencies[~np.isnan(latencies)]
+        if ratio_schedule is not None:
+            policy = RatioSchedulePolicy(ratio_schedule)
+        else:
+            policy = FixedRatioPolicy(ratio)
+        engine = ServingEngine(batching=self.batching)
+        engine.register(
+            self.service_model.model_name,
+            ModeledExecutor(self.service_model),
+            policy=policy,
+            mode=mode,
+        )
+        outcome = engine.run(trace=trace)
         return ServingResult(
-            latencies=valid,
-            batch_sizes=batch_sizes,
-            dropped=dropped,
+            latencies=outcome.latencies,
+            batch_sizes=outcome.batch_sizes,
+            dropped=outcome.dropped,
             duration=trace.duration,
             mode=mode,
             ratio=ratio,

@@ -1,0 +1,499 @@
+"""Tests for the unified serving engine (executors, policies, registry).
+
+Covers three layers:
+
+* **Wrapper equivalence** — ``ServingSimulator`` / ``AdaptiveServingSimulator``
+  are thin wrappers over :class:`ServingEngine`; reference copies of the seed
+  discrete-event loops live in this file and the wrappers must reproduce
+  their latencies bit-for-bit on fixed traces.
+* **Engine API** — request/response surface, multi-model registry,
+  head-of-line batching, policies.
+* **Real execution** — :class:`RuntimeExecutor` serving prepared FlexiQ
+  runtimes end-to-end, with heterogeneous-ratio batches and no prepared-
+  kernel rebuilds (the PR 1 single-variable-update claim).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.core.controller import AdaptiveRatioController, build_profile_from_latency_fn
+from repro.core.prepared import PreparedKernel
+from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+from repro.serving.adaptation import AdaptiveServingSimulator, _effective_accuracy
+from repro.serving.engine import (
+    BatchingConfig,
+    Request,
+    ServingEngine,
+    requests_from_trace,
+)
+from repro.serving.executors import ModeledExecutor, RuntimeExecutor
+from repro.serving.policies import (
+    AdaptiveRatioPolicy,
+    FixedRatioPolicy,
+    RatioSchedulePolicy,
+    RoundRobinRatioPolicy,
+)
+from repro.serving.simulator import ServiceTimeModel, ServingSimulator
+from repro.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (verbatim seed algorithms)
+# ----------------------------------------------------------------------
+def seed_serving_run(service_model, batching, trace, mode, ratio=0.0, ratio_schedule=None):
+    """The seed ``ServingSimulator.run`` loop, kept as the equivalence oracle."""
+    arrivals = np.sort(np.asarray(trace.arrival_times, dtype=np.float64))
+    num_requests = len(arrivals)
+    latencies = np.zeros(num_requests, dtype=np.float64)
+    batch_sizes = []
+    dropped = 0
+
+    server_free_at = 0.0
+    index = 0
+    max_batch = batching.max_batch
+    drop_after = batching.drop_after
+
+    while index < num_requests:
+        first_arrival = arrivals[index]
+        start = max(server_free_at, first_arrival)
+        end_index = bisect.bisect_right(arrivals, start, lo=index)
+        batch_end = min(end_index, index + max_batch)
+        if batch_end == index:
+            batch_end = index + 1
+
+        if drop_after is not None:
+            window = np.arange(index, batch_end)
+            expired = (start - arrivals[window]) > drop_after
+            if expired.any():
+                expired_indices = window[expired]
+                dropped += int(expired.sum())
+                latencies[expired_indices] = np.nan
+            batch_indices = window[~expired]
+            if batch_indices.size == 0:
+                index = batch_end
+                continue
+        else:
+            batch_indices = np.arange(index, batch_end)
+
+        batch_size = len(batch_indices)
+        current_ratio = ratio_schedule(start) if ratio_schedule else ratio
+        service_time = service_model.batch_latency(batch_size, mode, current_ratio)
+        finish = start + service_time
+        latencies[batch_indices] = finish - arrivals[batch_indices]
+        batch_sizes.append(batch_size)
+        server_free_at = finish
+        index = batch_end
+
+    return latencies[~np.isnan(latencies)], batch_sizes, dropped
+
+
+def seed_adaptive_run(service_model, controller, batching, control_window, trace):
+    """The seed ``AdaptiveServingSimulator.run`` window loop."""
+    num_windows = int(np.ceil(trace.duration / control_window))
+    window_ratios = np.zeros(num_windows, dtype=np.float64)
+    timeline = []
+    for window in range(num_windows):
+        start = window * control_window
+        end = min(start + control_window, trace.duration)
+        observed_rate = trace.rate_in_window(start, end)
+        ratio = controller.update(observed_rate)
+        window_ratios[window] = ratio
+        timeline.append({"start": start, "rate": observed_rate, "ratio": ratio})
+
+    def ratio_schedule(time):
+        window = min(int(time / control_window), num_windows - 1)
+        return float(window_ratios[window])
+
+    latencies, _, _ = seed_serving_run(
+        service_model, batching, trace, "flexiq", ratio_schedule=ratio_schedule
+    )
+    return latencies, window_ratios, timeline
+
+
+@pytest.fixture(scope="module")
+def service_model():
+    return ServiceTimeModel("vit_base", gpu="a6000", anchor_batches=(1, 16, 64, 128))
+
+
+@pytest.fixture(scope="module")
+def latency_profile(service_model):
+    simulator = ServingSimulator(service_model, BatchingConfig(max_batch=128))
+    rates = [200, 600, 1000, 1600, 2200, 2800]
+
+    def latency_fn(ratio, rate):
+        trace = PoissonTrace(max(rate, 1), duration=2.0, seed=11).generate()
+        return simulator.run(trace, "flexiq", ratio=ratio).median_latency
+
+    return build_profile_from_latency_fn(rates, [0.0, 0.25, 0.5, 0.75, 1.0], latency_fn)
+
+
+# ----------------------------------------------------------------------
+# Wrapper equivalence with the seed implementations
+# ----------------------------------------------------------------------
+class TestWrapperEquivalence:
+    @pytest.mark.parametrize(
+        "mode,ratio", [("int8", 0.0), ("int4", 0.0), ("flexiq", 0.5), ("flexiq", 1.0)]
+    )
+    def test_fixed_ratio_bit_identical(self, service_model, mode, ratio):
+        batching = BatchingConfig(max_batch=128)
+        trace = PoissonTrace(1800, duration=4.0, seed=17).generate()
+        expected, expected_batches, expected_dropped = seed_serving_run(
+            service_model, batching, trace, mode, ratio=ratio
+        )
+        result = ServingSimulator(service_model, batching).run(trace, mode, ratio=ratio)
+        np.testing.assert_array_equal(result.latencies, expected)
+        assert result.batch_sizes == expected_batches
+        assert result.dropped == expected_dropped
+
+    def test_small_batch_cap_bit_identical(self, service_model):
+        batching = BatchingConfig(max_batch=16)
+        trace = PoissonTrace(2000, duration=2.0, seed=3).generate()
+        expected, expected_batches, _ = seed_serving_run(
+            service_model, batching, trace, "int4"
+        )
+        result = ServingSimulator(service_model, batching).run(trace, "int4")
+        np.testing.assert_array_equal(result.latencies, expected)
+        assert result.batch_sizes == expected_batches
+
+    def test_drop_after_bit_identical(self, service_model):
+        batching = BatchingConfig(max_batch=8, drop_after=0.05)
+        trace = PoissonTrace(3000, duration=2.0, seed=4).generate()
+        expected, expected_batches, expected_dropped = seed_serving_run(
+            service_model, batching, trace, "int8"
+        )
+        result = ServingSimulator(service_model, batching).run(trace, "int8")
+        np.testing.assert_array_equal(result.latencies, expected)
+        assert result.batch_sizes == expected_batches
+        assert result.dropped == expected_dropped > 0
+
+    def test_ratio_schedule_bit_identical(self, service_model):
+        batching = BatchingConfig(max_batch=64)
+        trace = PoissonTrace(1500, duration=3.0, seed=6).generate()
+        schedule = lambda t: 1.0 if t > 1.5 else 0.25  # noqa: E731
+        expected, _, _ = seed_serving_run(
+            service_model, batching, trace, "flexiq", ratio_schedule=schedule
+        )
+        result = ServingSimulator(service_model, batching).run(
+            trace, "flexiq", ratio_schedule=schedule
+        )
+        np.testing.assert_array_equal(result.latencies, expected)
+
+    def test_adaptive_bit_identical(self, service_model, latency_profile):
+        batching = BatchingConfig(max_batch=128)
+        trace = FluctuatingTrace(
+            min_rate=800, peak_ratio=3.0, duration=20.0, seed=5
+        ).generate()
+        # Two fresh controllers: the controller is stateful, so the oracle and
+        # the wrapper each need their own copy of the same starting state.
+        seed_controller = AdaptiveRatioController(latency_profile, latency_threshold=0.05)
+        new_controller = AdaptiveRatioController(latency_profile, latency_threshold=0.05)
+
+        expected, window_ratios, timeline = seed_adaptive_run(
+            service_model, seed_controller, batching, 1.0, trace
+        )
+        result = AdaptiveServingSimulator(
+            service_model, new_controller, batching, control_window=1.0
+        ).run(trace, accuracy_by_ratio={0.0: 84.7, 0.5: 84.5, 1.0: 83.8})
+
+        np.testing.assert_array_equal(result.latencies, expected)
+        assert result.ratio_timeline == timeline
+        assert result.average_ratio == pytest.approx(float(np.mean(window_ratios)))
+
+
+class TestBatchingConfigDefaults:
+    def test_simulators_get_fresh_batching_instances(self, service_model):
+        a = ServingSimulator(service_model)
+        b = ServingSimulator(service_model)
+        assert a.batching is not b.batching
+        a.batching.max_batch = 2
+        assert b.batching.max_batch == BatchingConfig().max_batch
+
+    def test_adaptive_simulator_fresh_batching(self, service_model, latency_profile):
+        controller = AdaptiveRatioController(latency_profile, latency_threshold=0.05)
+        a = AdaptiveServingSimulator(service_model, controller)
+        b = AdaptiveServingSimulator(service_model, controller)
+        assert a.batching is not b.batching
+
+    def test_engine_fresh_batching(self):
+        assert ServingEngine().batching is not ServingEngine().batching
+
+
+class TestEffectiveAccuracy:
+    def _loop_reference(self, window_ratios, accuracy_by_ratio):
+        ratios = np.asarray(sorted(accuracy_by_ratio))
+        accuracies = np.asarray([accuracy_by_ratio[r] for r in ratios])
+        values = []
+        for ratio in window_ratios:
+            index = int(np.argmin(np.abs(ratios - ratio)))
+            values.append(accuracies[index])
+        return float(np.mean(values)) if values else float("nan")
+
+    def test_matches_loop_reference(self):
+        table = {0.0: 84.7, 0.25: 84.6, 0.5: 84.5, 0.75: 84.4, 1.0: 83.8}
+        rng = np.random.default_rng(0)
+        ratios = rng.uniform(-0.2, 1.2, size=257)
+        assert _effective_accuracy(ratios, table) == pytest.approx(
+            self._loop_reference(ratios, table)
+        )
+
+    def test_tie_breaks_to_lower_ratio(self):
+        # 0.25 is equidistant from 0.0 and 0.5: both must pick the lower one.
+        table = {0.0: 90.0, 0.5: 80.0}
+        ratios = np.asarray([0.25])
+        assert _effective_accuracy(ratios, table) == self._loop_reference(ratios, table) == 90.0
+
+    def test_empty_windows(self):
+        assert np.isnan(_effective_accuracy(np.zeros(0), {0.0: 84.0}))
+
+
+# ----------------------------------------------------------------------
+# Engine API
+# ----------------------------------------------------------------------
+class TestServingEngineApi:
+    def test_requires_exactly_one_input(self, service_model):
+        engine = ServingEngine()
+        engine.register("m", ModeledExecutor(service_model))
+        trace = PoissonTrace(100, duration=0.5, seed=0).generate()
+        with pytest.raises(ValueError):
+            engine.run()
+        with pytest.raises(ValueError):
+            engine.run(trace=trace, requests=[Request(0.0, model="m")])
+
+    def test_unregistered_model_rejected(self, service_model):
+        engine = ServingEngine()
+        engine.register("m", ModeledExecutor(service_model))
+        with pytest.raises(KeyError):
+            engine.run(requests=[Request(0.0, model="other")])
+
+    def test_no_endpoints_rejected(self):
+        trace = PoissonTrace(100, duration=0.5, seed=0).generate()
+        with pytest.raises(RuntimeError):
+            ServingEngine().run(trace=trace)
+
+    def test_trace_needs_model_name_with_multiple_endpoints(self, service_model):
+        engine = ServingEngine()
+        engine.register("a", ModeledExecutor(service_model))
+        engine.register("b", ModeledExecutor(service_model))
+        trace = PoissonTrace(100, duration=0.5, seed=0).generate()
+        with pytest.raises(ValueError):
+            engine.run(trace=trace)
+        assert engine.run(trace=trace, model="a").latencies.size == len(trace)
+
+    def test_responses_recorded_for_requests(self, service_model):
+        engine = ServingEngine(BatchingConfig(max_batch=4))
+        engine.register("m", ModeledExecutor(service_model), mode="int8")
+        requests = [Request(arrival_time=0.001 * i, model="m", request_id=100 + i)
+                    for i in range(10)]
+        outcome = engine.run(requests=requests)
+        assert outcome.responses is not None and len(outcome.responses) == 10
+        for i, response in enumerate(outcome.responses):
+            assert response.request_id == 100 + i
+            assert response.model == "m"
+            assert not response.dropped
+            assert response.latency == pytest.approx(
+                outcome.request_latencies[i]
+            )
+            assert response.finish_time >= response.start_time >= response.arrival_time
+
+    def test_round_robin_policy_varies_ratio_per_batch(self, service_model):
+        engine = ServingEngine(BatchingConfig(max_batch=8))
+        engine.register(
+            "m",
+            ModeledExecutor(service_model),
+            policy=RoundRobinRatioPolicy([0.0, 0.5, 1.0]),
+        )
+        trace = PoissonTrace(2000, duration=1.0, seed=1).generate()
+        outcome = engine.run(trace=trace)
+        assert len(outcome.batch_records) >= 3
+        assert outcome.batch_ratios[:3] == [0.0, 0.5, 1.0]
+
+    def test_multi_model_head_of_line_batching(self, service_model):
+        fast = ServiceTimeModel("vit_base", gpu="a6000", anchor_batches=(1, 16, 64))
+        engine = ServingEngine(BatchingConfig(max_batch=32))
+        engine.register("a", ModeledExecutor(service_model), mode="int8")
+        engine.register("b", ModeledExecutor(fast), mode="int4")
+        requests = [
+            Request(arrival_time=0.0005 * i, model=("a" if i % 3 else "b"))
+            for i in range(300)
+        ]
+        outcome = engine.run(requests=requests)
+        # Batches never mix models.
+        for record in outcome.batch_records:
+            assert record.model in ("a", "b")
+        served_models = [r.model for r in outcome.responses]
+        assert outcome.for_model("a").size == sum(m == "a" for m in served_models)
+        assert outcome.for_model("b").size == sum(m == "b" for m in served_models)
+        assert outcome.for_model("a").size + outcome.for_model("b").size == 300
+        # Per-batch request counts add up too.
+        assert sum(outcome.batch_sizes) == 300
+
+    def test_model_arg_validated_on_requests_path(self, service_model):
+        engine = ServingEngine()
+        engine.register("a", ModeledExecutor(service_model))
+        engine.register("b", ModeledExecutor(service_model))
+        requests = [Request(0.0, model="a"), Request(0.001, model="b")]
+        with pytest.raises(ValueError):
+            engine.run(requests=requests, model="a")
+        with pytest.raises(KeyError):
+            engine.run(requests=[Request(0.0, model="a")], model="typo")
+        assert engine.run(requests=[Request(0.0, model="a")], model="a").latencies.size == 1
+
+    def test_requests_from_trace(self):
+        trace = PoissonTrace(500, duration=1.0, seed=2).generate()
+        payloads = [np.zeros((2,)), np.ones((2,))]
+        requests = requests_from_trace(trace, model="m", payloads=payloads)
+        assert len(requests) == len(trace)
+        assert all(r.model == "m" for r in requests)
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        np.testing.assert_array_equal(requests[0].payload, payloads[0])
+        np.testing.assert_array_equal(requests[1].payload, payloads[1])
+        np.testing.assert_array_equal(requests[2].payload, payloads[0])
+
+
+# ----------------------------------------------------------------------
+# Real execution through RuntimeExecutor
+# ----------------------------------------------------------------------
+class TestRuntimeExecutor:
+    def test_single_batch_outputs_match_direct_forward(self, flexiq_conv_runtime, tiny_dataset):
+        images = tiny_dataset.test_images[:6]
+        flexiq_conv_runtime.prepare(use_prepared=True)
+        engine = ServingEngine(BatchingConfig(max_batch=8))
+        engine.register(
+            "conv",
+            RuntimeExecutor(flexiq_conv_runtime),
+            policy=FixedRatioPolicy(0.5),
+        )
+        requests = [
+            Request(arrival_time=0.0, model="conv", payload=images[i])
+            for i in range(len(images))
+        ]
+        outcome = engine.run(requests=requests)
+
+        assert len(outcome.batch_records) == 1
+        assert outcome.batch_records[0].size == len(images)
+        assert outcome.batch_records[0].ratio == 0.5
+        assert outcome.busy_time > 0.0
+
+        flexiq_conv_runtime.set_ratio(0.5)
+        expected = flexiq_conv_runtime(Tensor(images)).data
+        for i, response in enumerate(outcome.responses):
+            np.testing.assert_array_equal(response.output, expected[i])
+
+    def test_heterogeneous_ratio_batches_no_kernel_rebuild(self, flexiq_conv_runtime, tiny_dataset):
+        runtime = flexiq_conv_runtime
+        runtime.prepare(use_prepared=True)
+        ratios = runtime.available_ratios
+        # Warm every ratio once so lazily built boundary planes exist before
+        # the instrumented serving run.
+        for ratio in ratios:
+            runtime.forward_batch(tiny_dataset.test_images[:1], ratio=ratio)
+
+        executor = RuntimeExecutor(runtime, default_input=tiny_dataset.test_images[0])
+        engine = ServingEngine(BatchingConfig(max_batch=4))
+        engine.register("conv", executor, policy=RoundRobinRatioPolicy(ratios))
+        # Spread arrivals so the engine forms several small batches.
+        trace = RequestTrace(arrival_times=np.linspace(0.0, 0.01, 12), duration=0.01)
+
+        builds_before = PreparedKernel.build_count
+        planes_before = PreparedKernel.plane_build_count
+        outcome = engine.run(requests=requests_from_trace(trace, model="conv"))
+
+        assert PreparedKernel.build_count == builds_before, (
+            "serving must not rebuild prepared kernels"
+        )
+        assert PreparedKernel.plane_build_count == planes_before, (
+            "serving must not re-lower boundary planes"
+        )
+        assert executor.ratio_switches > 0
+        assert len(set(outcome.batch_ratios)) > 1
+        assert outcome.latencies.size == 12
+        assert np.all(outcome.latencies > 0)
+
+    def test_mode_overrides_ratio(self, flexiq_runtime, mlp_dataset):
+        executor = RuntimeExecutor(flexiq_runtime, default_input=mlp_dataset.test_images[0])
+        engine = ServingEngine(BatchingConfig(max_batch=4))
+        engine.register("mlp", executor, policy=FixedRatioPolicy(0.5), mode="int4")
+        trace = RequestTrace(arrival_times=np.zeros(4), duration=0.0)
+        outcome = engine.run(requests=requests_from_trace(trace, model="mlp"))
+        # "int4" pins the runtime to ratio 1.0 regardless of the policy, and
+        # the batch records report the executed (pinned) ratio.
+        assert flexiq_runtime.current_ratio == 1.0
+        assert outcome.batch_ratios == [1.0]
+        assert all(r.ratio == 1.0 for r in outcome.responses)
+        # Simultaneous arrivals: the run spans the measured makespan, so
+        # throughput is real requests/second rather than 0/0.
+        assert outcome.duration > 0.0
+        assert outcome.throughput > 0.0
+
+    def test_forward_batch_resyncs_stale_layer_boundaries(self, flexiq_conv_runtime, tiny_dataset):
+        runtime = flexiq_conv_runtime
+        runtime.set_ratio(0.5)
+        # Move one layer's boundary behind the model's back; current_ratio
+        # still reads 0.5, but forward_batch must re-apply the ratio anyway.
+        name, layer = next(
+            (n, l) for n, l in runtime.flexiq_layers()
+            if n in runtime.layout_plan.layouts
+        )
+        expected_boundary = layer.max_4bit_ch
+        layer.set_boundary(layer.feature_channels)
+        runtime.forward_batch(tiny_dataset.test_images[:1], ratio=0.5)
+        assert layer.max_4bit_ch == expected_boundary
+
+    def test_missing_payload_without_default_raises(self, flexiq_runtime):
+        executor = RuntimeExecutor(flexiq_runtime)
+        engine = ServingEngine()
+        engine.register("mlp", executor)
+        with pytest.raises(ValueError):
+            engine.run(requests=[Request(0.0, model="mlp")])
+
+    def test_multi_model_registry_real_execution(
+        self, flexiq_runtime, flexiq_conv_runtime, mlp_dataset, tiny_dataset
+    ):
+        """Two prepared runtimes (own kernel caches) behind one engine."""
+        engine = ServingEngine(BatchingConfig(max_batch=4))
+        engine.register(
+            "mlp",
+            RuntimeExecutor(flexiq_runtime, default_input=mlp_dataset.test_images[0]),
+            policy=FixedRatioPolicy(0.25),
+        )
+        engine.register(
+            "conv",
+            RuntimeExecutor(flexiq_conv_runtime, default_input=tiny_dataset.test_images[0]),
+            policy=FixedRatioPolicy(1.0),
+        )
+        requests = [
+            Request(arrival_time=0.001 * i, model=("mlp" if i % 2 else "conv"))
+            for i in range(16)
+        ]
+        outcome = engine.run(requests=requests)
+
+        assert outcome.for_model("mlp").size == 8
+        assert outcome.for_model("conv").size == 8
+        for record in outcome.batch_records:
+            expected_ratio = 0.25 if record.model == "mlp" else 1.0
+            assert record.ratio == expected_ratio
+        # Every response carries its model's classifier output.
+        for response in outcome.responses:
+            assert response.output.shape == (4,)
+
+    def test_modeled_and_runtime_mixed_registry(self, service_model, flexiq_runtime, mlp_dataset):
+        """Modeled and real executors are interchangeable under one engine."""
+        engine = ServingEngine(BatchingConfig(max_batch=8))
+        engine.register("modeled", ModeledExecutor(service_model), mode="int8")
+        engine.register(
+            "real",
+            RuntimeExecutor(flexiq_runtime, default_input=mlp_dataset.test_images[0]),
+        )
+        requests = [
+            Request(arrival_time=0.002 * i, model=("modeled" if i % 2 else "real"))
+            for i in range(12)
+        ]
+        outcome = engine.run(requests=requests)
+        assert outcome.for_model("modeled").size == 6
+        assert outcome.for_model("real").size == 6
+        assert outcome.dropped == 0
