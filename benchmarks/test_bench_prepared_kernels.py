@@ -19,6 +19,11 @@ heterogeneous per-batch ratios, and must (a) never rebuild a prepared kernel
 (the O(1) ratio-switch claim), and (b) sustain a clearly higher throughput
 than batch-1 inference implies — a regression in the engine's batching or
 dispatch overhead fails the suite.
+
+PR 3 adds the cluster gate: multi-server dispatch over K modeled
+accelerators must scale throughput near-linearly (efficiency >= 0.9 at
+K=4 under a saturating trace — the workload is deterministic, so this is a
+property of the dispatch layer, not of machine noise).
 """
 
 from __future__ import annotations
@@ -77,6 +82,19 @@ def test_prepared_kernel_speedup(benchmark, results_writer):
     assert (
         results["resnet18"]["serving"]["requests_per_s"]
         >= _serving_floor(results["resnet18"])
+    )
+
+    # Cluster scale-out: K modeled servers under a saturating trace serve
+    # near-K-times the single-server rate (simulated makespan throughput).
+    cluster = results["cluster_scaling"]["servers"]
+    assert set(cluster) == {str(k) for k in perf_smoke.CLUSTER_SIZES}
+    assert cluster["1"]["scaling_efficiency"] == 1.0
+    for k in perf_smoke.CLUSTER_SIZES[1:]:
+        assert cluster[str(k)]["scaling_efficiency"] >= 0.9
+    assert (
+        cluster["4"]["requests_per_s"]
+        > cluster["2"]["requests_per_s"]
+        > cluster["1"]["requests_per_s"]
     )
 
     # The JSON artifact tracks the perf trajectory from this PR onward.

@@ -2,11 +2,19 @@
 
 The package is organised around :mod:`repro.serving.engine`:
 
-* :class:`~repro.serving.engine.ServingEngine` owns admission, FIFO batching
-  on a shared accelerator, per-batch 4-bit-ratio selection and metrics, with
-  :class:`~repro.serving.engine.Request` / :class:`~repro.serving.engine.
-  Response` dataclasses as the request/response surface and a multi-model
-  registry (one endpoint per model, batches never mix models).
+* :class:`~repro.serving.engine.ServingEngine` owns admission, batching
+  across ``num_servers`` shared accelerators (each with its own clock and,
+  optionally, its own executor), per-batch 4-bit-ratio selection and
+  metrics, with :class:`~repro.serving.engine.Request` /
+  :class:`~repro.serving.engine.Response` dataclasses as the
+  request/response surface and a multi-model registry (one endpoint per
+  model, batches never mix models).  Admission is incremental:
+  ``start()`` / ``submit()`` / ``step()`` / ``finish()`` stream requests
+  through a live engine, and ``run()`` is a thin batch driver over them.
+* **Schedulers** (:mod:`repro.serving.schedulers`) order the queue: FIFO
+  (the default, bit-identical to the seed simulator), strict priority, or
+  earliest-deadline-first for SLO-aware serving, driven by per-request
+  ``priority``/``deadline`` fields.
 * **Executors** (:mod:`repro.serving.executors`) decide what a batch costs:
   :class:`~repro.serving.executors.ModeledExecutor` uses the analytic
   :class:`~repro.serving.simulator.ServiceTimeModel` latency tables, while
@@ -15,7 +23,8 @@ The package is organised around :mod:`repro.serving.engine`:
   wall-clock batch latencies — switching the 4-bit ratio per batch is an
   O(1) variable update thanks to the prepared-kernel cache.
 * **Policies** (:mod:`repro.serving.policies`) pick the ratio per batch:
-  fixed, schedule-driven, round-robin, or the paper's
+  fixed, schedule-driven, round-robin, queue-depth-aware (via the
+  :class:`~repro.serving.policies.PolicyContext` signature), or the paper's
   :class:`~repro.core.controller.AdaptiveRatioController` adapted through
   :class:`~repro.serving.policies.AdaptiveRatioPolicy`.
 
@@ -44,15 +53,28 @@ from repro.serving.executors import ModeledExecutor, RuntimeExecutor
 from repro.serving.policies import (
     AdaptiveRatioPolicy,
     FixedRatioPolicy,
+    PolicyContext,
+    QueueDepthRatioPolicy,
     RatioSchedulePolicy,
     RoundRobinRatioPolicy,
+    policy_selector,
+)
+from repro.serving.schedulers import (
+    EdfScheduler,
+    FifoScheduler,
+    PriorityScheduler,
+    Scheduler,
 )
 from repro.serving.simulator import (
     ServiceTimeModel,
     ServingResult,
     ServingSimulator,
 )
-from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.metrics import (
+    latency_percentiles,
+    slo_attainment,
+    summarize_latencies,
+)
 from repro.serving.adaptation import AdaptiveServingSimulator, AdaptiveServingResult
 
 __all__ = [
@@ -63,21 +85,29 @@ __all__ = [
     "BatchExecution",
     "BatchRecord",
     "BatchingConfig",
+    "EdfScheduler",
     "EngineResult",
     "Executor",
+    "FifoScheduler",
     "FixedRatioPolicy",
     "ModeledExecutor",
+    "PolicyContext",
+    "PriorityScheduler",
+    "QueueDepthRatioPolicy",
     "RatioPolicy",
     "RatioSchedulePolicy",
     "Request",
     "Response",
     "RoundRobinRatioPolicy",
     "RuntimeExecutor",
+    "Scheduler",
     "ServiceTimeModel",
     "ServingEngine",
     "ServingResult",
     "ServingSimulator",
     "latency_percentiles",
+    "policy_selector",
     "requests_from_trace",
+    "slo_attainment",
     "summarize_latencies",
 ]

@@ -58,6 +58,7 @@ class AdaptiveServingSimulator:
         controller: AdaptiveRatioController,
         batching: Optional[BatchingConfig] = None,
         control_window: float = 1.0,
+        num_servers: int = 1,
     ) -> None:
         self.service_model = service_model
         self.controller = controller
@@ -65,6 +66,7 @@ class AdaptiveServingSimulator:
         # max_batch/drop_after edits across simulators.
         self.batching = batching if batching is not None else BatchingConfig()
         self.control_window = float(control_window)
+        self.num_servers = int(num_servers)
 
     def run(
         self,
@@ -77,7 +79,7 @@ class AdaptiveServingSimulator:
         the time-averaged effective accuracy of the adaptive deployment.
         """
         policy = self.controller.as_policy(control_window=self.control_window)
-        engine = ServingEngine(batching=self.batching)
+        engine = ServingEngine(batching=self.batching, num_servers=self.num_servers)
         engine.register(
             self.service_model.model_name,
             ModeledExecutor(self.service_model),

@@ -1,9 +1,10 @@
 """Unified serving engine: one request/response surface for modeled and real execution.
 
 The engine consolidates the serving story of Figures 8 and 9 behind a single
-API.  A :class:`ServingEngine` owns admission, FIFO batching on one (shared,
-simulated) accelerator, per-batch 4-bit-ratio selection and metrics; *what*
-executes a batch and *which* ratio it runs at are pluggable:
+API.  A :class:`ServingEngine` owns admission, batching across ``num_servers``
+identical (shared, simulated) accelerators, per-batch 4-bit-ratio selection
+and metrics; *what* executes a batch, *which* requests ride in it and *which*
+ratio it runs at are pluggable:
 
 * :class:`Executor` — turns one :class:`Batch` into a service time (and
   optionally per-request outputs).  :class:`~repro.serving.executors.
@@ -11,36 +12,61 @@ executes a batch and *which* ratio it runs at are pluggable:
   ServiceTimeModel` (the paper's Figure 8/9 setup, bit-identical to the seed
   simulator); :class:`~repro.serving.executors.RuntimeExecutor` wraps a
   prepared :class:`~repro.core.runtime.FlexiQModel` and measures real
-  wall-clock batch latencies.
-* :class:`RatioPolicy` — picks the 4-bit ratio for each batch.  Fixed-ratio,
-  ratio-schedule and :class:`~repro.core.controller.AdaptiveRatioController`
-  deployments are interchangeable policies (see
-  :mod:`repro.serving.policies`).
+  wall-clock batch latencies.  With ``num_servers=K`` an endpoint may
+  register one executor *per server* (e.g. K ``RuntimeExecutor``\\ s, each
+  owning an independent prepared-kernel cache).
+* :class:`~repro.serving.schedulers.Scheduler` — the queue discipline.
+  The default is FIFO (the seed behaviour, served by a fast array path);
+  :class:`~repro.serving.schedulers.PriorityScheduler` and the SLO-aware
+  :class:`~repro.serving.schedulers.EdfScheduler` reorder queued requests by
+  per-request ``priority``/``deadline`` fields.
+* :class:`RatioPolicy` — picks the 4-bit ratio for each batch.  Policies see
+  a :class:`~repro.serving.policies.PolicyContext` (start time, queue depth,
+  batch size, server); legacy one-argument ``select(time)`` policies keep
+  working through an adapter (see :mod:`repro.serving.policies`).
 
-Several models can be registered on one engine (multi-model serving on a
-shared accelerator): each request names its model, batches are formed from
-head-of-line runs of same-model requests, and every model keeps its own
-executor and policy — with a :class:`~repro.serving.executors.
-RuntimeExecutor` per model that means one prepared-kernel cache each, and a
-per-batch ``set_ratio()`` that stays an O(1) variable update.
+Admission is incremental: :meth:`ServingEngine.start` opens a session,
+:meth:`ServingEngine.submit` pushes requests while the engine runs,
+:meth:`ServingEngine.step` executes one batch at a time, and
+:meth:`ServingEngine.finish` drains the queue and returns the
+:class:`EngineResult`.  :meth:`ServingEngine.run` is a thin batch driver
+over exactly that lifecycle.
+
+Several models can be registered on one engine (multi-model serving on
+shared accelerators): each request names its model, batches are formed from
+same-model requests in scheduler order, and every model keeps its own
+executor(s) and policy — with a :class:`~repro.serving.executors.
+RuntimeExecutor` per model and server that means one prepared-kernel cache
+each, and a per-batch ``set_ratio()`` that stays an O(1) variable update.
 
 The discrete-event loop reproduces the seed ``ServingSimulator`` semantics
-exactly (same admission, batch-cap, drop and float arithmetic), so the
-compatibility wrappers in :mod:`repro.serving.simulator` and
-:mod:`repro.serving.adaptation` return bit-identical latencies for the
-Figure 8/9 reproductions.
+exactly for single-server FIFO runs (same admission, batch-cap and float
+arithmetic), so the compatibility wrappers in :mod:`repro.serving.simulator`
+and :mod:`repro.serving.adaptation` return bit-identical latencies for the
+Figure 8/9 reproductions.  One deliberate deviation from the seed: when
+``drop_after`` expires requests, the batch is backfilled from the queue
+after the expired prefix is dropped, so drops no longer waste batch slots
+(the seed computed the batch window before filtering, leaving batches
+under-filled exactly when the queue was backed up).
 """
 
 from __future__ import annotations
 
 import bisect
+import heapq
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.data.traces import RequestTrace
-from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.metrics import (
+    latency_percentiles,
+    slo_attainment,
+    summarize_latencies,
+)
+from repro.serving.policies import PolicyContext
+from repro.serving.schedulers import FifoScheduler, Scheduler
 
 
 @dataclass
@@ -48,7 +74,7 @@ class BatchingConfig:
     """Batching policy of the serving system."""
 
     max_batch: int = 64
-    # A request admitted while the server is busy waits in an unbounded FIFO
+    # A request admitted while every server is busy waits in an unbounded
     # queue; ``drop_after`` (seconds) optionally drops requests that waited
     # longer than this (disabled by default, as in the paper).
     drop_after: Optional[float] = None
@@ -61,12 +87,17 @@ class Request:
     ``payload`` carries the actual model input for real execution (a single
     sample, e.g. a ``(C, H, W)`` image); modeled execution needs only the
     arrival time.  ``request_id`` defaults to the admission index.
+    ``priority`` (higher serves first) and ``deadline`` (absolute time by
+    which the response should finish) are read by the non-FIFO schedulers;
+    FIFO ignores both.
     """
 
     arrival_time: float
     model: str = "default"
     request_id: int = -1
     payload: Optional[np.ndarray] = None
+    priority: int = 0
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -83,20 +114,31 @@ class Response:
     mode: str
     dropped: bool = False
     output: Any = None
+    priority: int = 0
+    deadline: Optional[float] = None
+    server: int = 0
 
     @property
     def latency(self) -> float:
         """Response time: queueing delay plus batch service time (seconds)."""
         return self.finish_time - self.arrival_time
 
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the response finished by its deadline (None without one)."""
+        if self.deadline is None:
+            return None
+        return (not self.dropped) and self.finish_time <= self.deadline
+
 
 @dataclass
 class Batch:
-    """One FIFO batch handed to an :class:`Executor`.
+    """One batch handed to an :class:`Executor`.
 
     ``requests`` is populated when the engine was given explicit
     :class:`Request` objects (so executors can read payloads); trace-driven
     runs pass only the size, which is all modeled execution needs.
+    ``server`` is the accelerator the batch runs on (0-based).
     """
 
     model: str
@@ -104,6 +146,7 @@ class Batch:
     size: int
     indices: np.ndarray
     requests: Optional[Sequence[Request]] = None
+    server: int = 0
 
 
 @dataclass
@@ -131,7 +174,14 @@ class Executor(Protocol):
 
 
 class RatioPolicy(Protocol):
-    """Selects the 4-bit ratio for each batch; see :mod:`repro.serving.policies`."""
+    """Selects the 4-bit ratio for each batch; see :mod:`repro.serving.policies`.
+
+    Two select signatures are supported.  Legacy policies implement
+    ``select(time)`` and are adapted transparently; context-aware policies
+    set ``accepts_context = True`` and implement ``select(context)`` with a
+    :class:`~repro.serving.policies.PolicyContext` carrying the batch start
+    time plus queue depth, batch size, model and server.
+    """
 
     def on_run_start(self, trace: RequestTrace) -> None:
         """Observe the admitted trace for this model before serving starts."""
@@ -144,7 +194,7 @@ class RatioPolicy(Protocol):
 
 @dataclass
 class BatchRecord:
-    """Per-batch accounting: what ran, when, at which ratio."""
+    """Per-batch accounting: what ran, when, where, at which ratio."""
 
     model: str
     start: float
@@ -152,26 +202,34 @@ class BatchRecord:
     size: int
     ratio: float
     mode: str
+    server: int = 0
 
 
 @dataclass
 class _Endpoint:
-    """One registered model: executor + policy + execution mode."""
+    """One registered model: per-server executors + policy + execution mode."""
 
     name: str
-    executor: Executor
+    executors: List[Executor]
     policy: RatioPolicy
     mode: str
+    select: Callable[[PolicyContext], float]
+
+    @property
+    def executor(self) -> Executor:
+        """The (first) executor — the whole registration for ``num_servers=1``."""
+        return self.executors[0]
 
 
 @dataclass
 class EngineResult:
     """Outcome of one engine run.
 
-    ``latencies`` holds the served requests' response times in arrival order
-    (dropped requests excluded); ``request_latencies`` keeps one slot per
-    admitted request with ``nan`` marking drops, aligned with
-    ``request_models`` for per-model breakdowns.
+    ``latencies`` holds the served requests' response times in admission
+    order (dropped requests excluded); ``request_latencies`` keeps one slot
+    per admitted request with ``nan`` marking drops, aligned with
+    ``request_models`` for per-model breakdowns.  ``server_busy_times`` has
+    one accumulated busy time per server (their sum is ``busy_time``).
     """
 
     latencies: np.ndarray
@@ -183,6 +241,8 @@ class EngineResult:
     busy_time: float
     responses: Optional[List[Response]] = None
     _single_model: Optional[str] = None
+    num_servers: int = 1
+    server_busy_times: Optional[List[float]] = None
 
     # ------------------------------------------------------------------
     # Batch-level views
@@ -194,6 +254,20 @@ class EngineResult:
     @property
     def batch_ratios(self) -> List[float]:
         return [record.ratio for record in self.batch_records]
+
+    @property
+    def mean_executed_ratio(self) -> float:
+        """Batch-size-weighted mean of the executed per-batch 4-bit ratios.
+
+        ``nan`` when no batch was served.  Uses the *executed* ratios (after
+        any executor mode pinning), so it reflects what actually ran.
+        """
+        sizes = np.asarray(self.batch_sizes, dtype=np.float64)
+        if sizes.size == 0 or sizes.sum() <= 0:
+            return float("nan")
+        return float(
+            np.average(np.asarray(self.batch_ratios, dtype=np.float64), weights=sizes)
+        )
 
     # ------------------------------------------------------------------
     # Latency statistics
@@ -221,14 +295,15 @@ class EngineResult:
         """Served requests per second of accelerator busy time.
 
         For :class:`~repro.serving.executors.RuntimeExecutor` runs this is
-        the real sustained throughput of the serving hot path.
+        the real sustained throughput of the serving hot path.  With several
+        servers, busy time accumulates across all of them.
         """
         if self.busy_time <= 0:
             return 0.0
         return len(self.latencies) / self.busy_time
 
     def for_model(self, name: str) -> np.ndarray:
-        """Served latencies of one registered model, in arrival order."""
+        """Served latencies of one registered model, in admission order."""
         served = ~np.isnan(self.request_latencies)
         if self.request_models is None:
             if self._single_model is not None and name != self._single_model:
@@ -237,41 +312,169 @@ class EngineResult:
         mask = served & (np.asarray(self.request_models) == name)
         return self.request_latencies[mask]
 
+    def deadline_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that met their deadline.
+
+        Dropped requests with deadlines count as misses.  Returns ``nan``
+        when no response carries a deadline (or responses were not
+        recorded).
+        """
+        if not self.responses:
+            return float("nan")
+        recorded = [r for r in self.responses if r is not None]
+        if not recorded:
+            return float("nan")
+        # Dropped responses carry finish_time=nan, which slo_attainment
+        # counts as a miss whenever a deadline is present.
+        return slo_attainment(
+            [r.finish_time for r in recorded], [r.deadline for r in recorded]
+        )
+
 
 def requests_from_trace(
     trace: RequestTrace,
     model: str = "default",
     payloads: Optional[Sequence[np.ndarray]] = None,
+    priorities: Optional[Sequence[int]] = None,
+    deadlines: Optional[Sequence[Optional[float]]] = None,
 ) -> List[Request]:
     """Materialize :class:`Request` objects from an arrival-time trace.
 
     ``payloads`` optionally attaches model inputs round-robin (real execution
     of a trace longer than the available sample pool reuses samples).
+    ``priorities``/``deadlines`` optionally attach scheduler metadata, also
+    round-robin, in arrival order.  ``deadlines`` entries are *relative*
+    SLOs (seconds after the request's arrival): the materialized
+    ``Request.deadline`` is ``arrival_time + slo`` — an absolute deadline
+    list would make every request arriving after the largest entry
+    born-expired.
     """
     if payloads is not None and len(payloads) == 0:
         raise ValueError("payloads must be non-empty (or None for no payloads)")
+    if priorities is not None and len(priorities) == 0:
+        raise ValueError("priorities must be non-empty (or None)")
+    if deadlines is not None and len(deadlines) == 0:
+        raise ValueError("deadlines must be non-empty (or None)")
     requests = []
     for i, arrival in enumerate(np.sort(np.asarray(trace.arrival_times, dtype=np.float64))):
         payload = payloads[i % len(payloads)] if payloads is not None else None
+        priority = int(priorities[i % len(priorities)]) if priorities is not None else 0
+        slo = deadlines[i % len(deadlines)] if deadlines is not None else None
         requests.append(
-            Request(arrival_time=float(arrival), model=model, request_id=i, payload=payload)
+            Request(
+                arrival_time=float(arrival),
+                model=model,
+                request_id=i,
+                payload=payload,
+                priority=priority,
+                deadline=None if slo is None else float(arrival) + float(slo),
+            )
         )
     return requests
 
 
-class ServingEngine:
-    """FIFO-batching discrete-event serving engine for a shared accelerator.
+def _expired_prefix_end(
+    arrivals: np.ndarray, lo: int, hi: int, start: float, drop_after: float
+) -> int:
+    """First position in ``[lo, hi)`` whose request has *not* expired.
 
-    Register one endpoint per model with :meth:`register`, then :meth:`run`
-    either a :class:`~repro.data.traces.RequestTrace` (single-model, modeled
-    runs — no per-request objects are materialized, keeping million-request
-    sweeps cheap) or an explicit list of :class:`Request` objects (multi-model
-    and real execution).
+    The expiry predicate is exactly the seed's ``start - arrival >
+    drop_after``; over sorted arrivals it selects a prefix (float
+    subtraction is monotone).  ``searchsorted`` on the algebraically
+    equivalent ``arrival < start - drop_after`` lands within an ulp of that
+    boundary, so a local walk re-applies the exact predicate — keeping the
+    FIFO and scheduled paths' drop *sets* identical to each other and to
+    the per-element seed arithmetic, without an O(queue) scan per batch.
+    """
+    fresh = lo + int(np.searchsorted(arrivals[lo:hi], start - drop_after, side="left"))
+    while fresh > lo and not (start - arrivals[fresh - 1] > drop_after):
+        fresh -= 1
+    while fresh < hi and (start - arrivals[fresh]) > drop_after:
+        fresh += 1
+    return fresh
+
+
+class _Session:
+    """Mutable state of one serving run (batch or streaming)."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        slot_arrivals: np.ndarray,
+        request_objs: Optional[List[Request]],
+        single_model: Optional[str],
+        trace: Optional[RequestTrace],
+        duration: Optional[float],
+        record_responses: bool,
+    ) -> None:
+        num_requests = len(slot_arrivals)
+        self.slot_arrivals = slot_arrivals
+        self.request_objs = request_objs
+        self.single_model = single_model
+        self.trace = trace
+        self.duration = duration
+        self.record_responses = record_responses
+        self.latencies = np.zeros(num_requests, dtype=np.float64)
+        self.responses: Optional[List[Optional[Response]]] = (
+            [None] * num_requests if record_responses else None
+        )
+        self.records: List[BatchRecord] = []
+        self.dropped = 0
+        self.free_at: List[float] = [0.0] * num_servers
+        self.busy: List[float] = [0.0] * num_servers
+        # Pending admission, sorted by arrival: positions >= ``pos`` are not
+        # yet served (FIFO path) / not yet admitted to the queue (scheduled
+        # path).  ``pend_slots[p]`` maps a pending position back to the
+        # stable per-request slot index.
+        self.pend_arrivals = slot_arrivals
+        self.pend_slots = np.arange(num_requests, dtype=np.intp)
+        self.pos = 0
+        # Scheduled path only: admitted-but-unserved requests, a heap
+        # ordered by (scheduler key, arrival, slot) — arrival then
+        # admission slot are the FIFO tie-breakers behind the discipline's
+        # key.  ``arrival_heap`` (lazily cleaned against ``queued_slots``)
+        # answers "earliest queued arrival" without scanning the queue.
+        self.queue: List[Tuple[Tuple, float, int]] = []
+        self.arrival_heap: List[Tuple[float, int]] = []
+        self.queued_slots: set = set()
+
+
+class ServingEngine:
+    """Discrete-event serving engine for ``num_servers`` shared accelerators.
+
+    Register one endpoint per model with :meth:`register`, then either
+    :meth:`run` a :class:`~repro.data.traces.RequestTrace` (single-model,
+    modeled runs — no per-request objects are materialized, keeping
+    million-request sweeps cheap) or an explicit list of :class:`Request`
+    objects (multi-model, scheduler-aware and real execution) — or drive the
+    engine incrementally::
+
+        engine.start()                  # open a streaming session
+        engine.submit(first_requests)   # admission while the engine runs
+        engine.step()                   # execute one batch
+        engine.submit(more_requests)
+        result = engine.finish()        # drain the queue, close the session
+
+    ``scheduler`` selects the queue discipline (default FIFO); non-FIFO
+    schedulers read per-request ``priority``/``deadline`` fields and
+    therefore require explicit request lists (see
+    :func:`requests_from_trace`).
     """
 
-    def __init__(self, batching: Optional[BatchingConfig] = None) -> None:
+    def __init__(
+        self,
+        batching: Optional[BatchingConfig] = None,
+        num_servers: int = 1,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
         self.batching = batching if batching is not None else BatchingConfig()
+        self.num_servers = int(num_servers)
+        self.scheduler = scheduler
+        self._fifo = scheduler is None or isinstance(scheduler, FifoScheduler)
         self._endpoints: Dict[str, _Endpoint] = {}
+        self._session: Optional[_Session] = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -279,23 +482,42 @@ class ServingEngine:
     def register(
         self,
         name: str,
-        executor: Executor,
+        executor: Union[Executor, Sequence[Executor]],
         policy: Optional[RatioPolicy] = None,
         mode: str = "flexiq",
     ) -> None:
-        """Register a model endpoint (executor + ratio policy + mode)."""
-        from repro.serving.policies import FixedRatioPolicy
+        """Register a model endpoint (executor(s) + ratio policy + mode).
+
+        ``executor`` is either one executor shared by every server (fine for
+        the stateless :class:`~repro.serving.executors.ModeledExecutor`) or a
+        sequence of exactly ``num_servers`` executors, one per server — the
+        configuration that gives each server its own
+        :class:`~repro.serving.executors.RuntimeExecutor` and therefore its
+        own prepared-kernel cache.
+        """
+        from repro.serving.policies import FixedRatioPolicy, policy_selector
 
         if policy is None:
             policy = FixedRatioPolicy(0.0)
-        self._endpoints[name] = _Endpoint(name, executor, policy, mode)
+        if isinstance(executor, (list, tuple)):
+            executors = list(executor)
+            if len(executors) != self.num_servers:
+                raise ValueError(
+                    f"got {len(executors)} executors for {self.num_servers} servers; "
+                    "register one per server (or a single shared executor)"
+                )
+        else:
+            executors = [executor] * self.num_servers
+        self._endpoints[name] = _Endpoint(
+            name, executors, policy, mode, policy_selector(policy)
+        )
 
     @property
     def models(self) -> List[str]:
         return list(self._endpoints)
 
     # ------------------------------------------------------------------
-    # Serving
+    # Batch driver
     # ------------------------------------------------------------------
     def run(
         self,
@@ -307,21 +529,62 @@ class ServingEngine:
     ) -> EngineResult:
         """Serve a trace or an explicit request list to completion.
 
-        Exactly one of ``trace`` and ``requests`` must be given.  ``model``
-        names the endpoint a trace targets (optional when only one is
-        registered).  ``duration`` sets the result's time span for
-        throughput; it defaults to the trace duration, or to the makespan
-        (time until the last batch finishes) for explicit request lists.
-        ``record_responses`` materializes per-request :class:`Response`
-        objects; it defaults to on for explicit requests and off for traces
-        (where only the latency arrays are needed).
+        A thin driver over the streaming lifecycle: :meth:`start` a session
+        with everything admitted up front, then :meth:`finish` (which steps
+        until the queue drains).  Exactly one of ``trace`` and ``requests``
+        must be given.  ``model`` names the endpoint a trace targets
+        (optional when only one is registered).  ``duration`` sets the
+        result's time span for throughput; it defaults to the trace
+        duration, or to the makespan (time until the last batch finishes)
+        for explicit request lists.  ``record_responses`` materializes
+        per-request :class:`Response` objects; it defaults to on for
+        explicit requests and off for traces (where only the latency arrays
+        are needed).
         """
         if (trace is None) == (requests is None):
+            raise ValueError("provide exactly one of trace or requests")
+        self.start(
+            trace=trace,
+            requests=requests,
+            model=model,
+            duration=duration,
+            record_responses=record_responses,
+        )
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Streaming lifecycle
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        trace: Optional[RequestTrace] = None,
+        requests: Optional[Sequence[Request]] = None,
+        model: Optional[str] = None,
+        duration: Optional[float] = None,
+        record_responses: Optional[bool] = None,
+    ) -> None:
+        """Open a serving session.
+
+        For streaming use, call with no ``trace``/``requests`` (or just the
+        initially known requests) and push the rest through :meth:`submit`
+        while :meth:`step`\\ ping.  Ratio policies observe the requests known
+        at start time via ``on_run_start`` (endpoints with no admitted
+        requests are skipped, as in the seed); later submissions are served
+        but not re-shown to the policies.
+        """
+        if self._session is not None:
+            raise RuntimeError("a serving session is already open; finish() it first")
+        if trace is not None and requests is not None:
             raise ValueError("provide exactly one of trace or requests")
         if not self._endpoints:
             raise RuntimeError("no model endpoints registered")
 
         if trace is not None:
+            if not self._fifo:
+                raise ValueError(
+                    "non-FIFO schedulers read per-request priority/deadline "
+                    "fields; pass explicit requests (see requests_from_trace)"
+                )
             if model is None:
                 if len(self._endpoints) != 1:
                     raise ValueError(
@@ -335,6 +598,8 @@ class ServingEngine:
             single_model: Optional[str] = model
             run_duration = trace.duration if duration is None else float(duration)
         else:
+            if requests is None:
+                requests = []
             order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
             request_objs = [requests[i] for i in order]
             if model is not None and model not in self._endpoints:
@@ -354,7 +619,7 @@ class ServingEngine:
             models_present = {request.model for request in request_objs}
             single_model = models_present.pop() if len(models_present) == 1 else None
             # Without an explicit duration the run spans until the last batch
-            # finishes (makespan, filled in by _serve); policies windowing
+            # finishes (makespan, filled in by finish()); policies windowing
             # over admissions see the arrival horizon.
             run_duration = float(duration) if duration is not None else None
 
@@ -365,9 +630,88 @@ class ServingEngine:
         if policy_horizon is None:
             policy_horizon = float(arrivals[-1]) if len(arrivals) else 0.0
         self._start_policies(arrivals, request_objs, single_model, trace, policy_horizon)
-        return self._serve(
-            arrivals, request_objs, single_model, run_duration, record_responses
+        self._session = _Session(
+            self.num_servers,
+            arrivals,
+            request_objs,
+            single_model,
+            trace,
+            run_duration,
+            record_responses,
         )
+
+    def submit(self, requests: Union[Request, Sequence[Request]]) -> None:
+        """Push requests into the open session (streaming admission).
+
+        Requests are merged into the unserved part of the queue by arrival
+        time; a request whose ``arrival_time`` lies before the engine's
+        current simulated time is simply served at the next opportunity.
+        """
+        session = self._require_session()
+        if session.request_objs is None:
+            raise RuntimeError(
+                "trace sessions are fixed at start(); open a request session "
+                "(start() or start(requests=...)) for streaming admission"
+            )
+        if isinstance(requests, Request):
+            requests = [requests]
+        if not len(requests):
+            return
+        new = sorted(requests, key=lambda request: request.arrival_time)
+        for request in new:
+            if request.model not in self._endpoints:
+                raise KeyError(f"model {request.model!r} is not registered")
+        first_slot = len(session.request_objs)
+        session.request_objs.extend(new)
+        new_arrivals = np.asarray([r.arrival_time for r in new], dtype=np.float64)
+        session.slot_arrivals = np.concatenate([session.slot_arrivals, new_arrivals])
+        session.latencies = np.concatenate(
+            [session.latencies, np.zeros(len(new), dtype=np.float64)]
+        )
+        if session.responses is not None:
+            session.responses.extend([None] * len(new))
+        new_slots = np.arange(first_slot, first_slot + len(new), dtype=np.intp)
+        merged = np.concatenate([session.pend_arrivals[session.pos:], new_arrivals])
+        merged_slots = np.concatenate([session.pend_slots[session.pos:], new_slots])
+        order = np.argsort(merged, kind="stable")
+        session.pend_arrivals = merged[order]
+        session.pend_slots = merged_slots[order]
+        session.pos = 0
+
+    def step(self) -> Optional[BatchRecord]:
+        """Execute the next batch; ``None`` when no admitted work remains."""
+        session = self._require_session()
+        if self._fifo:
+            return self._step_fifo(session)
+        return self._step_scheduled(session)
+
+    def finish(self) -> EngineResult:
+        """Drain the queue, close the session and return the result.
+
+        The session is closed even if an executor raises mid-drain, so the
+        engine stays reusable after a failed run.
+        """
+        session = self._require_session()
+        try:
+            while self.step() is not None:
+                pass
+        finally:
+            self._session = None
+        return self._finalize(session)
+
+    def abort(self) -> None:
+        """Discard the open session (if any) without finalizing.
+
+        For streaming callers stepping manually: after an executor error
+        (or a decision to stop early) this resets the engine for a fresh
+        :meth:`start`.
+        """
+        self._session = None
+
+    def _require_session(self) -> _Session:
+        if self._session is None:
+            raise RuntimeError("no serving session open; call start() (or run())")
+        return self._session
 
     def _start_policies(
         self,
@@ -384,142 +728,263 @@ class ServingEngine:
                     continue
                 sub = trace if trace is not None else RequestTrace(arrivals, duration)
             else:
-                mask = np.asarray([r.model == name for r in request_objs])
+                mask = np.asarray([r.model == name for r in request_objs], dtype=bool)
                 if not mask.any():
                     continue
                 sub = RequestTrace(arrivals[mask], duration)
             endpoint.policy.on_run_start(sub)
 
-    def _serve(
-        self,
-        arrivals: np.ndarray,
-        request_objs: Optional[List[Request]],
-        single_model: Optional[str],
-        duration: Optional[float],
-        record_responses: bool,
-    ) -> EngineResult:
-        num_requests = len(arrivals)
-        latencies = np.zeros(num_requests, dtype=np.float64)
-        records: List[BatchRecord] = []
-        responses: Optional[List[Optional[Response]]] = (
-            [None] * num_requests if record_responses else None
-        )
-        dropped = 0
-        busy_time = 0.0
-
-        server_free_at = 0.0
-        index = 0
+    # ------------------------------------------------------------------
+    # FIFO fast path (bit-identical to the seed loop at num_servers=1)
+    # ------------------------------------------------------------------
+    def _step_fifo(self, s: _Session) -> Optional[BatchRecord]:
         max_batch = self.batching.max_batch
         drop_after = self.batching.drop_after
+        arrivals = s.pend_arrivals
+        request_objs = s.request_objs
 
-        while index < num_requests:
+        while True:
+            num_requests = len(arrivals)
+            if s.pos >= num_requests:
+                return None
+            server = min(range(self.num_servers), key=s.free_at.__getitem__)
+            index = s.pos
             first_arrival = arrivals[index]
-            start = max(server_free_at, first_arrival)
-            # All requests that have arrived by the time the server starts,
-            # capped by the batch size limit.
+            start = max(s.free_at[server], first_arrival)
+            # All requests that have arrived by the time the server starts.
             end_index = bisect.bisect_right(arrivals, start, lo=index)
+
+            if drop_after is not None:
+                # Expired requests form a prefix of the arrived window
+                # (arrivals are sorted); drop it *before* forming the batch
+                # so drops never consume batch slots (backfill).
+                fresh = _expired_prefix_end(
+                    arrivals, index, end_index, start, drop_after
+                )
+                if fresh > index:
+                    self._drop(s, s.pend_slots[index:fresh], start)
+                    index = fresh
+                    s.pos = index
+                    if index >= end_index:
+                        continue
+
             limit = min(end_index, index + max_batch)
             if limit == index:
                 limit = index + 1  # serve at least the request that triggered us
 
             if request_objs is None:
-                head_model = single_model
+                head_model = s.single_model
                 batch_end = limit
             else:
-                # Head-of-line batching: a batch is a FIFO run of consecutive
-                # requests for the same model (batches never mix models).
-                head_model = request_objs[index].model
+                # Same-model batching: a batch is a FIFO run of consecutive
+                # requests for one model (batches never mix models).
+                head_model = request_objs[int(s.pend_slots[index])].model
                 batch_end = index + 1
-                while batch_end < limit and request_objs[batch_end].model == head_model:
+                while (
+                    batch_end < limit
+                    and request_objs[int(s.pend_slots[batch_end])].model == head_model
+                ):
                     batch_end += 1
 
-            endpoint = self._endpoints[head_model]
-            if drop_after is not None:
-                window = np.arange(index, batch_end)
-                expired = (start - arrivals[window]) > drop_after
-                if expired.any():
-                    expired_indices = window[expired]
-                    dropped += int(expired.sum())
-                    latencies[expired_indices] = np.nan
-                    if responses is not None:
-                        for i in expired_indices:
-                            responses[i] = self._response(
-                                request_objs, i, arrivals, head_model, start,
-                                float("nan"), 0, float("nan"),
-                                mode=endpoint.mode, dropped=True,
-                            )
-                batch_indices = window[~expired]
-                if batch_indices.size == 0:
-                    index = batch_end
-                    continue
+            slots = s.pend_slots[index:batch_end]
+            record = self._execute(
+                s, server, start, head_model, slots, queue_depth=end_index - index
+            )
+            s.pos = batch_end
+            return record
+
+    # ------------------------------------------------------------------
+    # Scheduled path (priority / EDF / custom disciplines)
+    # ------------------------------------------------------------------
+    def _step_scheduled(self, s: _Session) -> Optional[BatchRecord]:
+        max_batch = self.batching.max_batch
+        drop_after = self.batching.drop_after
+        request_objs = s.request_objs
+        scheduler = self.scheduler
+
+        while True:
+            if not s.queue and s.pos >= len(s.pend_arrivals):
+                return None
+            server = min(range(self.num_servers), key=s.free_at.__getitem__)
+            if s.queue:
+                start = max(s.free_at[server], self._earliest_queued_arrival(s))
             else:
-                batch_indices = np.arange(index, batch_end)
+                start = max(s.free_at[server], s.pend_arrivals[s.pos])
+            # Admit everything that has arrived by the batch start.
+            end_index = bisect.bisect_right(s.pend_arrivals, start, lo=s.pos)
+            for position in range(s.pos, end_index):
+                slot = int(s.pend_slots[position])
+                arrival = float(s.slot_arrivals[slot])
+                heapq.heappush(
+                    s.queue, (scheduler.key(request_objs[slot]), arrival, slot)
+                )
+                heapq.heappush(s.arrival_heap, (arrival, slot))
+                s.queued_slots.add(slot)
+            s.pos = end_index
 
-            batch_size = len(batch_indices)
-            ratio = float(endpoint.policy.select(start))
-            batch = Batch(
-                model=head_model,
-                start_time=start,
-                size=batch_size,
-                indices=batch_indices,
-                requests=(
-                    [request_objs[i] for i in batch_indices]
-                    if request_objs is not None
-                    else None
-                ),
-            )
-            execution = endpoint.executor.execute(batch, endpoint.mode, ratio)
-            service_time = float(execution.service_time)
-            # Record the ratio the batch actually ran at, which executors may
-            # override (mode pinning); metrics built on batch_ratios must
-            # reflect executed configurations, not requested ones.
-            if execution.ratio is not None:
-                ratio = float(execution.ratio)
-            finish = start + service_time
-            latencies[batch_indices] = finish - arrivals[batch_indices]
-            records.append(
-                BatchRecord(head_model, start, finish, batch_size, ratio, endpoint.mode)
-            )
-            if responses is not None:
-                outputs = execution.outputs
-                for position, i in enumerate(batch_indices):
-                    responses[i] = self._response(
-                        request_objs, i, arrivals, head_model, start, finish,
-                        batch_size, ratio, mode=endpoint.mode,
-                        output=outputs[position] if outputs is not None else None,
+            if drop_after is not None:
+                # Expiry depends only on arrival, so the earliest queued
+                # arrival tells in O(1) whether anything expired at all;
+                # the O(queue) filter below runs only when something did.
+                if start - self._earliest_queued_arrival(s) > drop_after:
+                    expired = [e for e in s.queue if start - e[1] > drop_after]
+                    kept = [e for e in s.queue if start - e[1] <= drop_after]
+                    heapq.heapify(kept)
+                    s.queue = kept
+                    s.queued_slots.difference_update(e[2] for e in expired)
+                    self._drop(
+                        s,
+                        np.asarray([e[2] for e in expired], dtype=np.intp),
+                        start,
                     )
-            busy_time += service_time
-            server_free_at = finish
-            index = batch_end
+                    if not s.queue:
+                        continue
 
+            # Pop same-model requests in scheduler order; requests of other
+            # models encountered along the way go back on the heap.
+            head_model = request_objs[s.queue[0][2]].model
+            queue_depth = len(s.queue)
+            batch_entries: List[Tuple[Tuple, float, int]] = []
+            stash: List[Tuple[Tuple, float, int]] = []
+            while s.queue and len(batch_entries) < max_batch:
+                entry = heapq.heappop(s.queue)
+                if request_objs[entry[2]].model == head_model:
+                    batch_entries.append(entry)
+                else:
+                    stash.append(entry)
+            for entry in stash:
+                heapq.heappush(s.queue, entry)
+            s.queued_slots.difference_update(entry[2] for entry in batch_entries)
+            slots = np.asarray([entry[2] for entry in batch_entries], dtype=np.intp)
+            return self._execute(s, server, start, head_model, slots, queue_depth)
+
+    @staticmethod
+    def _earliest_queued_arrival(s: _Session) -> float:
+        """Earliest arrival among queued requests (queue must be non-empty).
+
+        ``arrival_heap`` holds one entry per ever-queued slot; entries whose
+        slot already left the queue are discarded lazily here, keeping the
+        lookup amortized O(log queue) instead of a per-batch linear scan.
+        """
+        heap = s.arrival_heap
+        while heap and heap[0][1] not in s.queued_slots:
+            heapq.heappop(heap)
+        return heap[0][0]
+
+    # ------------------------------------------------------------------
+    # Shared batch execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        s: _Session,
+        server: int,
+        start: float,
+        head_model: str,
+        slots: np.ndarray,
+        queue_depth: int,
+    ) -> BatchRecord:
+        endpoint = self._endpoints[head_model]
+        batch_size = len(slots)
+        context = PolicyContext(
+            time=start,
+            queue_depth=queue_depth,
+            batch_size=batch_size,
+            model=head_model,
+            server=server,
+        )
+        ratio = float(endpoint.select(context))
+        batch = Batch(
+            model=head_model,
+            start_time=start,
+            size=batch_size,
+            indices=slots,
+            requests=(
+                [s.request_objs[int(slot)] for slot in slots]
+                if s.request_objs is not None
+                else None
+            ),
+            server=server,
+        )
+        execution = endpoint.executors[server].execute(batch, endpoint.mode, ratio)
+        service_time = float(execution.service_time)
+        # Record the ratio the batch actually ran at, which executors may
+        # override (mode pinning); metrics built on batch_ratios must
+        # reflect executed configurations, not requested ones.
+        if execution.ratio is not None:
+            ratio = float(execution.ratio)
+        finish = start + service_time
+        s.latencies[slots] = finish - s.slot_arrivals[slots]
+        record = BatchRecord(
+            head_model, start, finish, batch_size, ratio, endpoint.mode, server
+        )
+        s.records.append(record)
+        if s.responses is not None:
+            outputs = execution.outputs
+            for position, slot in enumerate(slots):
+                s.responses[int(slot)] = self._response(
+                    s, int(slot), head_model, start, finish, batch_size, ratio,
+                    mode=endpoint.mode, server=server,
+                    output=outputs[position] if outputs is not None else None,
+                )
+        s.busy[server] += service_time
+        s.free_at[server] = finish
+        return record
+
+    def _drop(self, s: _Session, slots: np.ndarray, start: float) -> None:
+        """Expire ``slots`` (waited beyond ``drop_after``) at time ``start``."""
+        s.dropped += len(slots)
+        s.latencies[slots] = np.nan
+        if s.responses is not None:
+            for slot in slots:
+                slot = int(slot)
+                model = (
+                    s.request_objs[slot].model
+                    if s.request_objs is not None
+                    else s.single_model
+                )
+                s.responses[slot] = self._response(
+                    s, slot, model, start, float("nan"), 0, float("nan"),
+                    mode=self._endpoints[model].mode, dropped=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _finalize(self, s: _Session) -> EngineResult:
+        duration = s.duration
         if duration is None:
-            # Makespan: from time zero until the accelerator went idle (or
-            # the last arrival, if everything after it was dropped).
-            last_arrival = float(arrivals[-1]) if num_requests else 0.0
-            duration = max(server_free_at, last_arrival)
-        valid = latencies[~np.isnan(latencies)]
+            # Makespan: from time zero until the last accelerator went idle
+            # (or the last arrival, if everything after it was dropped).
+            last_arrival = float(s.slot_arrivals[-1]) if len(s.slot_arrivals) else 0.0
+            duration = max(max(s.free_at), last_arrival)
+        valid = s.latencies[~np.isnan(s.latencies)]
         request_models = (
-            [request.model for request in request_objs]
-            if request_objs is not None
+            [request.model for request in s.request_objs]
+            if s.request_objs is not None
             else None
         )
+        single_model = s.single_model
+        if s.request_objs is not None:
+            models_present = {request.model for request in s.request_objs}
+            single_model = models_present.pop() if len(models_present) == 1 else None
         return EngineResult(
             latencies=valid,
-            request_latencies=latencies,
+            request_latencies=s.latencies,
             request_models=request_models,
-            batch_records=records,
-            dropped=dropped,
+            batch_records=s.records,
+            dropped=s.dropped,
             duration=duration,
-            busy_time=busy_time,
-            responses=responses,
+            busy_time=float(sum(s.busy)),
+            responses=s.responses,
             _single_model=single_model,
+            num_servers=self.num_servers,
+            server_busy_times=list(s.busy),
         )
 
     def _response(
         self,
-        request_objs: Optional[List[Request]],
-        index: int,
-        arrivals: np.ndarray,
+        s: _Session,
+        slot: int,
         model: str,
         start: float,
         finish: float,
@@ -528,15 +993,21 @@ class ServingEngine:
         mode: str = "",
         dropped: bool = False,
         output: Any = None,
+        server: int = 0,
     ) -> Response:
-        request = request_objs[index] if request_objs is not None else None
-        request_id = index
-        if request is not None and request.request_id >= 0:
-            request_id = request.request_id
+        request = s.request_objs[slot] if s.request_objs is not None else None
+        request_id = slot
+        priority = 0
+        deadline = None
+        if request is not None:
+            if request.request_id >= 0:
+                request_id = request.request_id
+            priority = request.priority
+            deadline = request.deadline
         return Response(
             request_id=request_id,
             model=model,
-            arrival_time=float(arrivals[index]),
+            arrival_time=float(s.slot_arrivals[slot]),
             start_time=start,
             finish_time=finish,
             batch_size=batch_size,
@@ -544,4 +1015,7 @@ class ServingEngine:
             mode=mode,
             dropped=dropped,
             output=output,
+            priority=priority,
+            deadline=deadline,
+            server=server,
         )

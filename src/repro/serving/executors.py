@@ -12,6 +12,14 @@ Two implementations of the :class:`~repro.serving.engine.Executor` protocol:
   serving heterogeneous-ratio traffic performs no weight requantization,
   re-permutation or plane lowering (asserted by the serving tests via
   :attr:`repro.core.prepared.PreparedKernel.build_count`).
+
+With multi-server engines (``ServingEngine(num_servers=K)``) an endpoint
+registers either one shared executor or a list of K executors, one per
+server.  :class:`ModeledExecutor` is stateless and safe to share;
+:class:`RuntimeExecutor` holds a runtime whose ratio state mutates per
+batch, so a scaled-out deployment registers one per server — K independent
+prepared-kernel caches, exactly like K real accelerators each holding their
+own copy of the weights.
 """
 
 from __future__ import annotations

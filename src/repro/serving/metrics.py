@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+
+def _percentile_label(percentile: float) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p99.9"``.
+
+    The seed formatted labels with ``int(p)``, which collapsed fractional
+    percentiles onto their integer neighbours (``p99.9`` silently became —
+    and collided with — ``"p99"``).
+    """
+    return f"p{percentile:g}"
 
 
 def latency_percentiles(
@@ -13,15 +23,26 @@ def latency_percentiles(
     """Return the requested percentiles of a latency sample (seconds)."""
     values = np.asarray(latencies, dtype=np.float64)
     if values.size == 0:
-        return {f"p{int(p)}": float("nan") for p in percentiles}
-    return {f"p{int(p)}": float(np.percentile(values, p)) for p in percentiles}
+        return {_percentile_label(p): float("nan") for p in percentiles}
+    return {
+        _percentile_label(p): float(np.percentile(values, p)) for p in percentiles
+    }
 
 
 def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
-    """Median/p90/p99/mean/max summary of a latency sample (seconds)."""
+    """Median/p90/p99/mean/max summary of a latency sample (seconds).
+
+    An empty sample has a well-defined count of ``0.0`` (the seed reported
+    ``count: nan``, poisoning downstream arithmetic that summed counts
+    across models or windows); the order statistics stay ``nan``.
+    """
     values = np.asarray(latencies, dtype=np.float64)
     if values.size == 0:
-        return {key: float("nan") for key in ("median", "p90", "p99", "mean", "max", "count")}
+        summary = {
+            key: float("nan") for key in ("median", "p90", "p99", "mean", "max")
+        }
+        summary["count"] = 0.0
+        return summary
     return {
         "median": float(np.percentile(values, 50)),
         "p90": float(np.percentile(values, 90)),
@@ -30,3 +51,30 @@ def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
         "max": float(values.max()),
         "count": float(values.size),
     }
+
+
+def slo_attainment(
+    finish_times: Sequence[float], deadlines: Sequence[Optional[float]]
+) -> float:
+    """Fraction of deadline-carrying requests that finished in time.
+
+    ``finish_times`` may contain ``nan`` for dropped requests (they count as
+    misses when they carry a deadline); ``deadlines`` entries of ``None`` or
+    ``nan`` are excluded from the population.  Returns ``nan`` when nothing
+    carries a deadline.
+    """
+    finishes = np.asarray(finish_times, dtype=np.float64)
+    dl = np.asarray(
+        [float("nan") if d is None else float(d) for d in deadlines],
+        dtype=np.float64,
+    )
+    if finishes.shape != dl.shape:
+        raise ValueError("finish_times and deadlines must have the same length")
+    has_deadline = ~np.isnan(dl)
+    total = int(has_deadline.sum())
+    if total == 0:
+        return float("nan")
+    met = np.count_nonzero(
+        has_deadline & ~np.isnan(finishes) & (finishes <= dl)
+    )
+    return met / total

@@ -7,10 +7,28 @@ protocol: the engine shows it the model's admitted trace once per run
 deployments are thereby interchangeable under one engine — the API
 consolidation that used to be spread across ``ServingSimulator`` arguments
 (``ratio`` vs ``ratio_schedule``) and ``AdaptiveServingSimulator``.
+
+**Signature migration (PR 3).**  Policies historically saw only the batch
+start time: ``select(time: float) -> float``.  The engine now builds a
+:class:`PolicyContext` per batch carrying the start time *plus* queue depth,
+batch size, model name and server index, so policies can trade accuracy for
+latency based on instantaneous load (see :class:`QueueDepthRatioPolicy`).
+Both signatures are supported:
+
+* **Legacy (1-arg)** — implement ``select(time)``; the engine wraps the
+  policy through :func:`policy_selector`, which passes ``context.time``.
+  All pre-PR-3 policies below keep this form, preserving the seed float
+  arithmetic bit-for-bit.
+* **Context-aware** — set the class attribute ``accepts_context = True``
+  and implement ``select(context: PolicyContext)``.
+
+``policy_selector(policy)`` returns the normalized ``context -> ratio``
+callable either way; user code rarely needs it directly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, TYPE_CHECKING
 
 import numpy as np
@@ -19,6 +37,38 @@ from repro.data.traces import RequestTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.controller import AdaptiveRatioController
+
+
+@dataclass
+class PolicyContext:
+    """Per-batch information handed to context-aware ratio policies.
+
+    ``time`` is the batch service start (simulation seconds) — exactly the
+    value legacy 1-arg policies received.  ``queue_depth`` counts the
+    requests that have arrived and are still waiting when the batch forms
+    (including the ones about to ride in it), ``batch_size`` is the size of
+    the batch being launched, and ``model``/``server`` identify the endpoint
+    and accelerator.
+    """
+
+    time: float
+    queue_depth: int = 0
+    batch_size: int = 0
+    model: str = ""
+    server: int = 0
+
+
+def policy_selector(policy) -> Callable[[PolicyContext], float]:
+    """Normalize a policy to the context signature.
+
+    Context-aware policies (``accepts_context = True``) are returned as-is;
+    legacy 1-arg policies are wrapped in an adapter that forwards
+    ``context.time``, so their float arithmetic is untouched.
+    """
+    if getattr(policy, "accepts_context", False):
+        return policy.select
+    select = policy.select
+    return lambda context: select(context.time)
 
 
 class FixedRatioPolicy:
@@ -68,6 +118,45 @@ class RoundRobinRatioPolicy:
     def select(self, time: float) -> float:
         ratio = self.ratios[self._next % len(self.ratios)]
         self._next += 1
+        return ratio
+
+
+class QueueDepthRatioPolicy:
+    """Batch-size-aware load shedding: raise the 4-bit ratio as the queue grows.
+
+    A context-aware policy (the PR 3 ``PolicyContext`` signature): thresholds
+    map instantaneous queue depth to a ratio, so the engine spends accuracy
+    exactly when requests are piling up and returns to high precision the
+    moment the queue drains — a per-batch, reactive complement to the
+    per-window :class:`AdaptiveRatioPolicy`.
+
+    ``thresholds`` maps minimum queue depth to the ratio used at or above
+    that depth; the highest satisfied threshold wins.  Depths below every
+    threshold use ``base_ratio``.
+    """
+
+    accepts_context = True
+
+    def __init__(
+        self,
+        thresholds: Dict[int, float],
+        base_ratio: float = 0.0,
+    ) -> None:
+        if not thresholds:
+            raise ValueError("thresholds must be non-empty")
+        self.thresholds = sorted(
+            (int(depth), float(ratio)) for depth, ratio in thresholds.items()
+        )
+        self.base_ratio = float(base_ratio)
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        pass
+
+    def select(self, context: PolicyContext) -> float:
+        ratio = self.base_ratio
+        for depth, depth_ratio in self.thresholds:
+            if context.queue_depth >= depth:
+                ratio = depth_ratio
         return ratio
 
 

@@ -1,0 +1,83 @@
+"""Schedulers: pluggable queue disciplines for the serving engine.
+
+The seed engine hard-coded FIFO head-of-line batching.  A
+:class:`Scheduler` generalizes the *order in which queued requests are
+eligible for the next batch* while the engine keeps its invariants
+(batches never mix models, a batch only contains requests that have
+already arrived when service starts, and at most ``max_batch`` ride
+together).
+
+A scheduler is a pure ordering: :meth:`Scheduler.key` maps a queued
+:class:`~repro.serving.engine.Request` to a sortable key; the engine
+appends ``(arrival_time, admission index)`` as the final tie-breakers, so
+requests with equal keys always serve FIFO by arrival (regardless of the
+order they were pushed through streaming ``submit()``).  Three
+disciplines ship with the engine:
+
+* :class:`FifoScheduler` — arrival order; the seed behaviour.  A
+  ``ServingEngine`` built with ``scheduler=None`` (or an explicit
+  ``FifoScheduler``) takes the fast array path, which is bit-identical to
+  the seed simulator at ``num_servers=1``.
+* :class:`PriorityScheduler` — higher :attr:`Request.priority` first,
+  FIFO within a priority class.
+* :class:`EdfScheduler` — earliest :attr:`Request.deadline` first
+  (earliest-deadline-first, the classic SLO-aware discipline); requests
+  without a deadline sort last, FIFO among themselves.  Under overload
+  EDF spends the scarce accelerator time on the requests whose SLOs are
+  still winnable, which improves deadline attainment over FIFO (see
+  ``tests/test_serving_engine.py::TestSchedulers``).
+
+Every scheduler other than FIFO requires explicit
+:class:`~repro.serving.engine.Request` lists: the trace-only fast path
+carries arrival times and nothing else, and the engine's scheduled loop
+reads the queued ``Request`` objects to form same-model batches.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple, TYPE_CHECKING, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.engine import Request
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Queue discipline: lower :meth:`key` serves first."""
+
+    def key(self, request: "Request") -> Tuple:
+        """Discipline sort key for one queued request.
+
+        Return only the discipline's own criteria (priority, deadline,
+        ...); the engine appends ``(arrival_time, admission index)``
+        behind it, so equal keys tie-break FIFO by arrival.
+        """
+        ...
+
+
+class FifoScheduler:
+    """First-in-first-out: the seed discipline (and the default)."""
+
+    def key(self, request: "Request") -> Tuple:
+        return ()  # the engine's arrival tie-breaker IS the discipline
+
+
+class PriorityScheduler:
+    """Strict priority: higher ``Request.priority`` first, FIFO within."""
+
+    def key(self, request: "Request") -> Tuple:
+        return (-request.priority,)
+
+
+class EdfScheduler:
+    """Earliest-deadline-first (SLO-aware).
+
+    Requests carrying a ``deadline`` (absolute simulation time by which
+    the response should finish) are served soonest-deadline first;
+    deadline-less requests sort after every deadline, FIFO among
+    themselves.
+    """
+
+    def key(self, request: "Request") -> Tuple:
+        deadline = request.deadline
+        return (deadline if deadline is not None else float("inf"),)

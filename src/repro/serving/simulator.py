@@ -20,7 +20,7 @@ the service time of the batch it rode in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +38,11 @@ class ServiceTimeModel:
 
     Latency is precomputed from the hardware model at a set of anchor batch
     sizes and linearly interpolated in between, so the discrete-event loop
-    stays cheap even for millions of requests.
+    stays cheap even for millions of requests.  Batch sizes beyond the
+    largest anchor are computed exactly from the hardware model and cached
+    on demand (``np.interp`` would silently clamp them to the last anchor's
+    latency, under-reporting service time for ``max_batch`` above the
+    anchor range).
     """
 
     def __init__(
@@ -52,9 +56,13 @@ class ServiceTimeModel:
         self.latency_model = latency_model or GpuLatencyModel(gpu)
         self.anchor_batches = sorted(set(int(b) for b in anchor_batches))
         self._cache: Dict[str, np.ndarray] = {}
+        self._exact: Dict[Tuple[str, int], float] = {}
 
     def _key(self, mode: str, ratio: float) -> str:
-        return f"{mode}:{ratio:.3f}"
+        # repr() round-trips the float exactly; rounding (the seed used
+        # ``f"{ratio:.3f}"``) made distinct ratios within 5e-4 collide in
+        # the cache and return each other's latencies.
+        return f"{mode}:{float(ratio)!r}"
 
     def _anchor_latencies(self, mode: str, ratio: float) -> np.ndarray:
         key = self._key(mode, ratio)
@@ -68,17 +76,36 @@ class ServiceTimeModel:
             self._cache[key] = np.asarray(values)
         return self._cache[key]
 
+    def _exact_latency(self, batch_size: int, mode: str, ratio: float) -> float:
+        """Exact (non-interpolated) hardware-model latency, cached on demand."""
+        key = (self._key(mode, ratio), batch_size)
+        if key not in self._exact:
+            ops = model_ops(self.model_name, batch_size)
+            self._exact[key] = float(
+                self.latency_model.model_latency(ops, mode, four_bit_ratio=ratio)
+            )
+        return self._exact[key]
+
     def batch_latency(self, batch_size: int, mode: str, ratio: float = 0.0) -> float:
         """Service time (seconds) for one batch."""
         if batch_size <= 0:
             return 0.0
+        if batch_size > self.anchor_batches[-1]:
+            return self._exact_latency(int(batch_size), mode, ratio)
         anchors = self._anchor_latencies(mode, ratio)
         return float(np.interp(batch_size, self.anchor_batches, anchors))
 
 
 @dataclass
 class ServingResult:
-    """Outcome of one serving simulation."""
+    """Outcome of one serving simulation.
+
+    ``ratio`` reports the 4-bit ratio the run *executed*: the fixed ratio
+    for fixed-ratio runs, or the batch-weighted mean of the per-batch
+    executed ratios when a ``ratio_schedule`` drove the run (``nan`` if no
+    batch was served).  The seed reported the fixed ``ratio`` argument even
+    when a schedule overrode it for every batch.
+    """
 
     latencies: np.ndarray          # per-request response times (seconds)
     batch_sizes: List[int]
@@ -118,11 +145,13 @@ class ServingSimulator:
         self,
         service_model: ServiceTimeModel,
         batching: Optional[BatchingConfig] = None,
+        num_servers: int = 1,
     ) -> None:
         self.service_model = service_model
         # A fresh config per instance: a shared mutable default would leak
         # max_batch/drop_after edits across simulators.
         self.batching = batching if batching is not None else BatchingConfig()
+        self.num_servers = int(num_servers)
 
     def run(
         self,
@@ -135,13 +164,14 @@ class ServingSimulator:
 
         ``ratio_schedule`` optionally maps simulation time to a 4-bit ratio
         (used by the adaptive experiments); when provided it overrides the
-        fixed ``ratio``.
+        fixed ``ratio`` and the result reports the batch-weighted mean of
+        the ratios that actually executed.
         """
         if ratio_schedule is not None:
             policy = RatioSchedulePolicy(ratio_schedule)
         else:
             policy = FixedRatioPolicy(ratio)
-        engine = ServingEngine(batching=self.batching)
+        engine = ServingEngine(batching=self.batching, num_servers=self.num_servers)
         engine.register(
             self.service_model.model_name,
             ModeledExecutor(self.service_model),
@@ -149,6 +179,8 @@ class ServingSimulator:
             mode=mode,
         )
         outcome = engine.run(trace=trace)
+        if ratio_schedule is not None:
+            ratio = outcome.mean_executed_ratio
         return ServingResult(
             latencies=outcome.latencies,
             batch_sizes=outcome.batch_sizes,

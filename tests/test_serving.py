@@ -159,3 +159,77 @@ class TestAdaptiveServing:
         result = adaptive.run(trace)
         assert result.effective_accuracy is None
         assert result.duration == pytest.approx(5.0)
+
+
+class TestServiceTimeModelRegressions:
+    def test_batch_above_largest_anchor_not_clamped(self, service_model):
+        """PR 3 bugfix: ``np.interp`` silently clamped batch sizes above the
+        largest anchor (128) to the 128-anchor latency, under-reporting
+        service time for ``max_batch > 128`` runs."""
+        at_anchor = service_model.batch_latency(128, "int8")
+        beyond = service_model.batch_latency(256, "int8")
+        assert beyond > at_anchor  # seed returned beyond == at_anchor
+        # The out-of-range value is the exact hardware-model latency.
+        from repro.hardware.workloads import model_ops
+
+        expected = service_model.latency_model.model_latency(
+            model_ops(service_model.model_name, 256), "int8", four_bit_ratio=0.0
+        )
+        assert beyond == pytest.approx(expected, rel=0, abs=0)
+        # And it is cached: same value on repeat lookups.
+        assert service_model.batch_latency(256, "int8") == beyond
+        # Monotone through the anchor boundary.
+        assert at_anchor < service_model.batch_latency(129, "int8") < beyond
+
+    def test_close_ratios_do_not_collide_in_cache(self, service_model):
+        """PR 3 bugfix: the anchor cache keyed on ``f"{ratio:.3f}"``, so
+        ratios within 5e-4 collided and returned each other's latencies."""
+        a = service_model.batch_latency(32, "flexiq", 0.5)
+        b = service_model.batch_latency(32, "flexiq", 0.5003)
+        assert a != b  # seed: identical (cache collision)
+        assert b < a   # more 4-bit channels -> faster
+        # Exactly equal ratios still share one cache entry.
+        assert service_model.batch_latency(32, "flexiq", 0.5) == a
+
+
+class TestMetricsRegressions:
+    def test_empty_sample_count_is_zero(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0.0  # seed reported nan
+        for key in ("median", "p90", "p99", "mean", "max"):
+            assert np.isnan(summary[key])
+
+    def test_fractional_percentile_keys_do_not_collide(self):
+        values = np.arange(1, 1001) / 1000.0
+        p = latency_percentiles(values, percentiles=(99, 99.9))
+        assert set(p) == {"p99", "p99.9"}  # seed collapsed both onto "p99"
+        assert p["p99.9"] > p["p99"]
+        empty = latency_percentiles([], percentiles=(99, 99.9))
+        assert set(empty) == {"p99", "p99.9"}
+        assert all(np.isnan(v) for v in empty.values())
+
+    def test_integer_labels_unchanged(self):
+        p = latency_percentiles([0.1, 0.2], percentiles=(50, 90.0))
+        assert set(p) == {"p50", "p90"}
+
+
+class TestExecutedRatioReporting:
+    def test_fixed_ratio_reported_verbatim(self, simulator):
+        trace = PoissonTrace(500, duration=1.0, seed=8).generate()
+        result = simulator.run(trace, "flexiq", ratio=0.25)
+        assert result.ratio == 0.25
+
+    def test_schedule_reports_batch_weighted_executed_ratio(self, simulator):
+        """PR 3 bugfix: the seed reported the (unused) fixed ``ratio``
+        argument even when ``ratio_schedule`` overrode it on every batch."""
+        trace = PoissonTrace(1500, duration=2.0, seed=8).generate()
+        result = simulator.run(
+            trace, "flexiq", ratio=0.0, ratio_schedule=lambda t: 1.0
+        )
+        assert result.ratio == pytest.approx(1.0)  # seed reported 0.0
+
+        mixed = simulator.run(
+            trace, "flexiq", ratio=0.0,
+            ratio_schedule=lambda t: 1.0 if t > 1.0 else 0.0,
+        )
+        assert 0.0 < mixed.ratio < 1.0
