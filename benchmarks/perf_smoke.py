@@ -24,6 +24,15 @@ under a saturating Poisson trace.  Throughput (served requests per second
 of simulated makespan) must scale near-linearly in K while every server
 stays busy; the recorded efficiency is throughput(K) / (K * throughput(1)).
 
+A ``heterogeneous_placement`` section exercises the PR 4 cluster control
+plane: a mixed-speed cluster (one fast GPU, two slow NPUs) serves the same
+near-capacity trace under the seed argmin-free-clock dispatch and under the
+speed-aware placers (least-outstanding-work, weighted-by-speed).  The smart
+placers must win throughput *and* p99 strictly — free-clock keeps handing
+head-of-line batches to idle slow servers, stretching the makespan.  The
+workload is a deterministic simulation, so the gate is exact, not a timing
+threshold.
+
 Run it directly (finishes well under 60 s with a warm pretrain cache)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
@@ -52,14 +61,18 @@ from repro.core.runtime import FlexiQConv2d, FlexiQLinear, FlexiQModel
 from repro.core.selection import SelectionConfig
 from repro.data import CalibrationSampler
 from repro.nn.registry import get_spec
+from repro.hardware.npu import NpuConfig
 from repro.serving import (
     BatchingConfig,
+    ClusterEngine,
     ModeledExecutor,
     Request,
     RoundRobinRatioPolicy,
     RuntimeExecutor,
     ServiceTimeModel,
     ServingEngine,
+    gpu_server,
+    npu_server,
     requests_from_trace,
 )
 from repro.tensor import Tensor
@@ -76,6 +89,9 @@ SERVING_ROUNDS = 3
 CLUSTER_SIZES = (1, 2, 4)
 CLUSTER_RATE = 12000        # req/s: saturates even the largest cluster
 CLUSTER_DURATION = 2.0
+HETERO_RATE = 3000          # req/s: ~90% of the mixed cluster's capacity
+HETERO_DURATION = 2.0
+HETERO_PLACERS = ("free_clock", "least_work", "weighted")
 
 
 def build_runtime(name: str) -> tuple:
@@ -236,6 +252,66 @@ def bench_cluster_scaling() -> dict:
     }
 
 
+def bench_heterogeneous_placement() -> dict:
+    """Placement rules on a mixed-speed cluster (PR 4 control plane).
+
+    One fast GPU (L40S) plus two scaled-up NPUs (64x64 array at 800 MHz:
+    slow but not useless) serve a Poisson trace at ~90% of combined
+    capacity.  Throughput is served requests per second of simulated
+    makespan; under argmin-free-clock an *idle* slow server always has the
+    earliest clock and keeps stealing head-of-line batches, so the run
+    drags a slow-server tail.  The speed-aware placers route those batches
+    to the fast GPU unless a slow server would genuinely finish first, and
+    must therefore beat free-clock on throughput and p99 alike.
+    """
+    from repro.data.traces import PoissonTrace
+
+    npu_config = NpuConfig(array_rows=64, array_cols=64, clock_mhz=800.0)
+    specs = [
+        gpu_server("gpu0", "vit_base", gpu="l40s"),
+        npu_server("npu0", "vit_base", config=npu_config),
+        npu_server("npu1", "vit_base", config=npu_config),
+    ]
+    trace = PoissonTrace(HETERO_RATE, duration=HETERO_DURATION, seed=33).generate()
+    requests = requests_from_trace(trace, model="m")
+
+    placers = {}
+    for name in HETERO_PLACERS:
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=64),
+            placer=None if name == "free_clock" else name,
+        )
+        cluster.register("m", mode="int8")
+        outcome = cluster.run(requests=requests, record_responses=False)
+        placers[name] = {
+            "requests_per_s": round(outcome.throughput, 1),
+            "p50_ms": round(outcome.latency_percentile(50) * 1e3, 2),
+            "p99_ms": round(outcome.p99_latency * 1e3, 2),
+            "served": int(outcome.latencies.size),
+            "busy_seconds": round(outcome.server_seconds, 3),
+        }
+    base = placers["free_clock"]["requests_per_s"]
+    return {
+        "model": "vit_base",
+        "mode": "int8",
+        "rate": HETERO_RATE,
+        "requests": len(requests),
+        "max_batch": 64,
+        "servers": [
+            {"name": s.name, "device": s.device, "speed_rps": round(s.speed, 1)}
+            for s in specs
+        ],
+        "placers": placers,
+        "weighted_speedup_vs_free_clock": round(
+            placers["weighted"]["requests_per_s"] / base, 3
+        ),
+        "least_work_speedup_vs_free_clock": round(
+            placers["least_work"]["requests_per_s"] / base, 3
+        ),
+    }
+
+
 def bench_model(name: str, reps: int = 20) -> dict:
     runtime, dataset = build_runtime(name)
     x = Tensor(dataset.train_images[:BATCH])
@@ -271,7 +347,7 @@ def render(results: dict) -> str:
         "-" * 62,
     ]
     for name, result in results.items():
-        if name in ("meta", "cluster_scaling"):
+        if name in ("meta", "cluster_scaling", "heterogeneous_placement"):
             continue
         for scope in ("quantized", "end_to_end"):
             row = result[scope]
@@ -285,7 +361,7 @@ def render(results: dict) -> str:
         "round-robin heterogeneous ratios"
     )
     for name, result in results.items():
-        if name in ("meta", "cluster_scaling"):
+        if name in ("meta", "cluster_scaling", "heterogeneous_placement"):
             continue
         row = result["serving"]
         lines.append(
@@ -306,6 +382,26 @@ def render(results: dict) -> str:
                 f"efficiency {row['scaling_efficiency']:.2f} | "
                 f"{row['dispatch_us_per_request']:.1f} us dispatch/req"
             )
+    hetero = results.get("heterogeneous_placement")
+    if hetero:
+        lines.append("")
+        servers = ", ".join(
+            f"{s['name']}~{s['speed_rps']:.0f}rps" for s in hetero["servers"]
+        )
+        lines.append(
+            f"Heterogeneous placement -- {servers}; "
+            f"{hetero['rate']} req/s Poisson"
+        )
+        for name, row in hetero["placers"].items():
+            lines.append(
+                f"{name:>12} | {row['requests_per_s']:>8.1f} req/s | "
+                f"p50 {row['p50_ms']:>7.2f} ms | p99 {row['p99_ms']:>7.2f} ms"
+            )
+        lines.append(
+            f"{'':>12} | weighted {hetero['weighted_speedup_vs_free_clock']:.3f}x, "
+            f"least-work {hetero['least_work_speedup_vs_free_clock']:.3f}x "
+            "vs argmin-free-clock"
+        )
     return "\n".join(lines)
 
 
@@ -313,6 +409,7 @@ def main() -> dict:
     start = time.perf_counter()
     results = {name: bench_model(name) for name in MODELS}
     results["cluster_scaling"] = bench_cluster_scaling()
+    results["heterogeneous_placement"] = bench_heterogeneous_placement()
     results["meta"] = {
         "benchmark": "prepared_kernels",
         "models": list(MODELS),

@@ -24,6 +24,12 @@ PR 3 adds the cluster gate: multi-server dispatch over K modeled
 accelerators must scale throughput near-linearly (efficiency >= 0.9 at
 K=4 under a saturating trace — the workload is deterministic, so this is a
 property of the dispatch layer, not of machine noise).
+
+PR 4 adds the heterogeneous-placement gate: on a mixed-speed cluster (one
+fast GPU, two slow NPUs) the speed-aware placers (least-outstanding-work,
+weighted-by-speed) must achieve strictly higher makespan throughput — and
+lower p99 — than the seed argmin-free-clock dispatch.  Also deterministic:
+the comparison is between simulated schedules, not wall clocks.
 """
 
 from __future__ import annotations
@@ -97,7 +103,23 @@ def test_prepared_kernel_speedup(benchmark, results_writer):
         > cluster["1"]["requests_per_s"]
     )
 
+    # Heterogeneous placement: on a mixed-speed cluster the speed-aware
+    # placers strictly beat argmin-free-clock on throughput and p99 (the
+    # PR 4 control-plane gate; exact, the schedules are deterministic).
+    hetero = results["heterogeneous_placement"]
+    speeds = [server["speed_rps"] for server in hetero["servers"]]
+    assert max(speeds) > 5 * min(speeds)  # the cluster really is mixed-speed
+    placers = hetero["placers"]
+    free_clock = placers["free_clock"]
+    for smart in ("least_work", "weighted"):
+        assert placers[smart]["requests_per_s"] > free_clock["requests_per_s"]
+        assert placers[smart]["p99_ms"] < free_clock["p99_ms"]
+        assert placers[smart]["served"] == free_clock["served"]  # same work
+    assert hetero["weighted_speedup_vs_free_clock"] > 1.0
+    assert hetero["least_work_speedup_vs_free_clock"] > 1.0
+
     # The JSON artifact tracks the perf trajectory from this PR onward.
     stored = json.loads(perf_smoke.RESULTS_PATH.read_text())
     assert stored["meta"]["benchmark"] == "prepared_kernels"
+    assert "heterogeneous_placement" in stored
     results_writer("prepared_kernels", perf_smoke.render(results))

@@ -6,20 +6,31 @@ Offline substitutes for the paper's data dependencies:
   standing in for CIFAR-10/100 and ImageNet.
 * :mod:`repro.data.text` -- a synthetic character corpus standing in for
   WikiText2 in the LLM case study.
-* :mod:`repro.data.traces` -- Poisson and fluctuating request-rate traces
-  standing in for the Azure inference traces used in Figures 8 and 9.
+* :mod:`repro.data.traces` -- Poisson, fluctuating, diurnal and spike
+  request-rate traces standing in for the Azure inference traces used in
+  Figures 8 and 9 (and the autoscaling scenarios).
 """
 
 from repro.data.synthetic import DATASET_REGISTRY, SyntheticImageDataset, build_dataset
 from repro.data.calibration import CalibrationSampler
-from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+from repro.data.traces import (
+    DiurnalTrace,
+    FluctuatingTrace,
+    PoissonTrace,
+    RequestTrace,
+    SpikeTrace,
+    merge_traces,
+)
 
 __all__ = [
     "CalibrationSampler",
     "DATASET_REGISTRY",
+    "DiurnalTrace",
     "FluctuatingTrace",
     "PoissonTrace",
     "RequestTrace",
+    "SpikeTrace",
     "SyntheticImageDataset",
     "build_dataset",
+    "merge_traces",
 ]

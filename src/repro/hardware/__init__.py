@@ -22,7 +22,7 @@ offline, so this package provides:
 from repro.hardware.devices import GPU_CATALOG, GpuSpec, get_gpu
 from repro.hardware.workloads import LayerOp, model_ops, vit_ops, resnet_ops
 from repro.hardware.gpu import GpuLatencyModel
-from repro.hardware.npu import NpuConfig, NpuLatencyModel
+from repro.hardware.npu import NpuConfig, NpuLatencyModel, NpuServiceAdapter
 from repro.hardware.kernels import MixedPrecisionGemm, mixed_gemm_reference
 from repro.hardware.frameworks import framework_latency
 from repro.hardware.memory import MemoryFootprint, flexiq_footprint, resource_report, uniform_footprint
@@ -36,6 +36,7 @@ __all__ = [
     "MixedPrecisionGemm",
     "NpuConfig",
     "NpuLatencyModel",
+    "NpuServiceAdapter",
     "flexiq_footprint",
     "framework_latency",
     "get_gpu",

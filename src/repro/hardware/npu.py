@@ -169,6 +169,10 @@ class NpuLatencyModel:
         """Cost of loading the instructions for a new ratio (< 0.3 us)."""
         return self.config.instruction_load_us * 1e-6
 
+    def as_service_backend(self) -> "NpuServiceAdapter":
+        """Adapt this NPU model to the GPU-style serving latency interface."""
+        return NpuServiceAdapter(self)
+
     def utilization(self, op: LayerOp, four_bit_ratio: float = 0.0) -> float:
         """Fraction of peak MAC throughput achieved on an op."""
         cfg = self.config
@@ -179,3 +183,54 @@ class NpuLatencyModel:
         if cycles <= 0:
             return 0.0
         return min(op.macs / (cycles * peak_macs_per_cycle), 1.0)
+
+
+class NpuServiceAdapter:
+    """Mode-aware facade over :class:`NpuLatencyModel` for the serving layer.
+
+    :class:`~repro.serving.simulator.ServiceTimeModel` talks to latency
+    backends through the GPU signature ``model_latency(ops, mode,
+    four_bit_ratio=...)``; the NPU's native interface has no ``mode``
+    argument (the array computes in integer precision only, with a 4-bit
+    channel prefix).  This adapter maps the serving modes onto NPU ratios —
+    ``"int8"`` is ratio 0, ``"int4"`` is ratio 1, ``"flexiq"`` uses the
+    requested ratio — so heterogeneous clusters can mix GPU- and NPU-backed
+    servers behind one engine (see :func:`repro.serving.cluster.npu_server`).
+
+    Serving totals include the non-quantizable stem/head layers (unlike the
+    paper's NPU microbenchmarks, which exclude them): a request pays for the
+    whole forward.  ``dynamic_extraction`` is accepted for signature
+    compatibility and ignored — runtime bit-extraction is free on the NPU
+    (Section 7; the low-bit planes are native operands).
+    """
+
+    def __init__(self, npu: Optional[NpuLatencyModel] = None) -> None:
+        self.npu = npu if npu is not None else NpuLatencyModel()
+
+    def model_latency(
+        self,
+        ops: Sequence[LayerOp],
+        mode: str,
+        four_bit_ratio: float = 0.0,
+        dynamic_extraction: bool = False,
+        per_layer_ratio: Optional[Dict[str, float]] = None,
+    ) -> float:
+        if mode == "int8":
+            ratio = 0.0
+        elif mode == "int4":
+            ratio = 1.0
+        elif mode == "flexiq":
+            ratio = float(four_bit_ratio)
+        else:
+            raise ValueError(
+                f"the NPU serves int8/int4/flexiq modes, not {mode!r}"
+            )
+        return self.npu.model_latency(
+            ops,
+            four_bit_ratio=ratio,
+            per_layer_ratio=per_layer_ratio if mode == "flexiq" else None,
+            include_non_quantizable=True,
+        )
+
+    def ratio_switch_latency(self) -> float:
+        return self.npu.ratio_switch_latency()

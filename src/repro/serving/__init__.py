@@ -28,6 +28,20 @@ The package is organised around :mod:`repro.serving.engine`:
   :class:`~repro.core.controller.AdaptiveRatioController` adapted through
   :class:`~repro.serving.policies.AdaptiveRatioPolicy`.
 
+* **Cluster control plane** (:mod:`repro.serving.placement`,
+  :mod:`repro.serving.telemetry`, :mod:`repro.serving.cluster`): pluggable
+  server **placement** (free-clock / least-outstanding-work /
+  weighted-by-speed / model-affinity) replacing the hard-coded argmin
+  dispatch, **heterogeneous server profiles** (:class:`~repro.serving.
+  cluster.ServerSpec` built from the GPU/NPU hardware models via
+  :func:`~repro.serving.cluster.gpu_server` / :func:`~repro.serving.cluster.
+  npu_server`), a windowed per-server **telemetry bus** policies consume
+  through :class:`~repro.serving.policies.PolicyContext` (enabling
+  :class:`~repro.serving.policies.PerServerAdaptiveRatioPolicy`), and
+  **elastic autoscaling** (:class:`~repro.serving.cluster.ClusterEngine`
+  with queue-depth / latency-SLO autoscalers applying hysteresis decisions
+  at window boundaries, recorded as scale events).
+
 The Figure 8 experiment (latency vs Poisson request rate) is a
 ``ModeledExecutor`` + ``FixedRatioPolicy`` run; Figure 9 (fluctuating load
 with per-window adaptation) is ``ModeledExecutor`` + ``AdaptiveRatioPolicy``.
@@ -49,15 +63,40 @@ from repro.serving.engine import (
     ServingEngine,
     requests_from_trace,
 )
+from repro.serving.cluster import (
+    Autoscaler,
+    ClusterEngine,
+    ClusterResult,
+    QueueDepthAutoscaler,
+    ServerSpec,
+    SloLatencyAutoscaler,
+    gpu_server,
+    npu_server,
+)
 from repro.serving.executors import ModeledExecutor, RuntimeExecutor
+from repro.serving.placement import (
+    FreeClockPlacer,
+    LeastOutstandingWorkPlacer,
+    ModelAffinityPlacer,
+    Placer,
+    PlacementContext,
+    WeightedSpeedPlacer,
+)
 from repro.serving.policies import (
     AdaptiveRatioPolicy,
     FixedRatioPolicy,
+    PerServerAdaptiveRatioPolicy,
     PolicyContext,
     QueueDepthRatioPolicy,
     RatioSchedulePolicy,
     RoundRobinRatioPolicy,
     policy_selector,
+)
+from repro.serving.telemetry import (
+    ClusterWindowStats,
+    ScaleEvent,
+    ServerWindowStats,
+    TelemetryBus,
 )
 from repro.serving.schedulers import (
     EdfScheduler,
@@ -71,6 +110,7 @@ from repro.serving.simulator import (
     ServingSimulator,
 )
 from repro.serving.metrics import (
+    attainment_within,
     latency_percentiles,
     slo_attainment,
     summarize_latencies,
@@ -81,18 +121,29 @@ __all__ = [
     "AdaptiveRatioPolicy",
     "AdaptiveServingResult",
     "AdaptiveServingSimulator",
+    "Autoscaler",
     "Batch",
     "BatchExecution",
     "BatchRecord",
     "BatchingConfig",
+    "ClusterEngine",
+    "ClusterResult",
+    "ClusterWindowStats",
     "EdfScheduler",
     "EngineResult",
     "Executor",
     "FifoScheduler",
     "FixedRatioPolicy",
+    "FreeClockPlacer",
+    "LeastOutstandingWorkPlacer",
+    "ModelAffinityPlacer",
     "ModeledExecutor",
+    "PerServerAdaptiveRatioPolicy",
+    "Placer",
+    "PlacementContext",
     "PolicyContext",
     "PriorityScheduler",
+    "QueueDepthAutoscaler",
     "QueueDepthRatioPolicy",
     "RatioPolicy",
     "RatioSchedulePolicy",
@@ -100,12 +151,21 @@ __all__ = [
     "Response",
     "RoundRobinRatioPolicy",
     "RuntimeExecutor",
+    "ScaleEvent",
     "Scheduler",
+    "ServerSpec",
+    "ServerWindowStats",
     "ServiceTimeModel",
     "ServingEngine",
     "ServingResult",
     "ServingSimulator",
+    "SloLatencyAutoscaler",
+    "TelemetryBus",
+    "WeightedSpeedPlacer",
+    "attainment_within",
+    "gpu_server",
     "latency_percentiles",
+    "npu_server",
     "policy_selector",
     "requests_from_trace",
     "slo_attainment",

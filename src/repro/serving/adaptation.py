@@ -14,6 +14,12 @@ per-ratio accuracies measured offline (Table 2).
 goes through a :class:`~repro.serving.executors.ModeledExecutor`, and the
 window/timeline bookkeeping that used to live here is read back off the
 policy.  Results are bit-identical to the seed implementation.
+
+This wrapper (like the paper's Figure 9 setup) adapts on the **global**
+window rate of one accelerator's trace.  Multi-server deployments should
+prefer :class:`~repro.serving.policies.PerServerAdaptiveRatioPolicy`, which
+runs one controller per server on per-server telemetry signals (see
+:mod:`repro.serving.cluster`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,558 @@
+"""Cluster control plane: heterogeneous placement + telemetry + autoscaling.
+
+The engine (:mod:`repro.serving.engine`) gives K server clocks one queue and
+pluggable dispatch; this module is the layer *above* it — the part of a
+production serving system that decides what the cluster looks like:
+
+* :class:`ServerSpec` — one server's identity: a latency backend derived
+  from the :mod:`repro.hardware` GPU/NPU models (or a real executor) plus a
+  scalar ``speed`` (requests/second at a reference batch) that placement
+  weighs.  :func:`gpu_server` and :func:`npu_server` build specs straight
+  from the device catalogs, so a cluster can mix e.g. one fast GPU with two
+  slow NPUs.
+* **Placement** — :class:`~repro.serving.placement.Placer` implementations
+  are resolved by name (``"free_clock"``, ``"least_work"``, ``"weighted"``)
+  with speeds taken from the specs, or passed as instances.
+* **Telemetry** — every :class:`ClusterEngine` owns a
+  :class:`~repro.serving.telemetry.TelemetryBus`; the engine publishes
+  per-batch/per-drop events into it and policies read it through
+  :class:`~repro.serving.policies.PolicyContext`.
+* :class:`Autoscaler` — a window-boundary policy deciding how many servers
+  stay active.  :class:`QueueDepthAutoscaler` and
+  :class:`SloLatencyAutoscaler` implement hysteresis-based scaling on queue
+  depth and windowed latency percentiles; scale decisions are applied via
+  :meth:`~repro.serving.engine.ServingEngine.set_active_servers` and
+  recorded as :class:`~repro.serving.telemetry.ScaleEvent` in the timeline.
+
+A :class:`ClusterEngine` with one GPU spec, no placer and no autoscaler
+degenerates to the seed single-server FIFO simulator (bit-identical
+latencies); see ``tests/test_serving_cluster.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Union
+
+import numpy as np
+
+from repro.data.traces import RequestTrace
+from repro.hardware.npu import NpuConfig, NpuLatencyModel
+from repro.serving.engine import (
+    BatchingConfig,
+    EngineResult,
+    Executor,
+    RatioPolicy,
+    Request,
+    ServingEngine,
+)
+from repro.serving.executors import ModeledExecutor
+from repro.serving.metrics import attainment_within, latency_percentile
+from repro.serving.placement import (
+    FreeClockPlacer,
+    LeastOutstandingWorkPlacer,
+    ModelAffinityPlacer,
+    Placer,
+    WeightedSpeedPlacer,
+)
+from repro.serving.schedulers import Scheduler
+from repro.serving.simulator import ServiceTimeModel
+from repro.serving.telemetry import ClusterWindowStats, ScaleEvent, TelemetryBus
+
+
+# ----------------------------------------------------------------------
+# Server profiles
+# ----------------------------------------------------------------------
+@dataclass
+class ServerSpec:
+    """One server of a (possibly heterogeneous) cluster.
+
+    ``service_model`` is the analytic latency backend for modeled execution;
+    ``executor`` optionally overrides it with any
+    :class:`~repro.serving.engine.Executor` (e.g. a
+    :class:`~repro.serving.executors.RuntimeExecutor` owning real prepared
+    kernels).  ``speed`` is the server's serving rate in requests/second at
+    the reference batch — only the *ratios* between specs matter, and the
+    speed-aware placers consume them verbatim.
+    """
+
+    name: str
+    speed: float
+    service_model: Optional[ServiceTimeModel] = None
+    executor: Optional[Executor] = None
+    device: str = ""
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("speed must be positive (requests/second)")
+        if self.service_model is None and self.executor is None:
+            raise ValueError("a ServerSpec needs a service_model or an executor")
+
+    def build_executor(self) -> Executor:
+        """The executor serving this server's batches."""
+        if self.executor is not None:
+            return self.executor
+        return ModeledExecutor(self.service_model)
+
+    def estimate_batch_seconds(
+        self, batch_size: int, mode: str = "int8", ratio: float = 0.0
+    ) -> float:
+        """Estimated service seconds for one batch (speed fallback without
+        a service model)."""
+        if self.service_model is not None:
+            return self.service_model.batch_latency(batch_size, mode, ratio)
+        return batch_size / self.speed
+
+
+def _measured_speed(
+    service_model: ServiceTimeModel, reference_batch: int, mode: str
+) -> float:
+    latency = service_model.batch_latency(reference_batch, mode)
+    if latency <= 0:
+        raise ValueError("reference batch latency must be positive")
+    return reference_batch / latency
+
+
+def gpu_server(
+    name: str,
+    model_name: str = "vit_base",
+    gpu: str = "a6000",
+    anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
+    reference_batch: int = 64,
+    mode: str = "int8",
+) -> ServerSpec:
+    """A GPU-backed server profile from the :mod:`repro.hardware.gpu` model.
+
+    ``speed`` is measured from the device's own latency model at
+    ``reference_batch`` in ``mode`` — the number placement weighs, derived
+    rather than guessed.
+    """
+    service = ServiceTimeModel(model_name, gpu=gpu, anchor_batches=anchor_batches)
+    return ServerSpec(
+        name=name,
+        speed=_measured_speed(service, reference_batch, mode),
+        service_model=service,
+        device=f"gpu:{gpu}",
+    )
+
+
+def npu_server(
+    name: str,
+    model_name: str = "vit_base",
+    config: Optional[NpuConfig] = None,
+    anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
+    reference_batch: int = 64,
+    mode: str = "int8",
+) -> ServerSpec:
+    """An NPU-backed server profile from the :mod:`repro.hardware.npu` model.
+
+    The cycle model is adapted to the serving interface through
+    :class:`~repro.hardware.npu.NpuServiceAdapter` (mode names map onto NPU
+    ratios).  With the default 32x32/200 MHz config an NPU server is orders
+    of magnitude slower than a datacenter GPU on the same model — pass a
+    scaled-up :class:`~repro.hardware.npu.NpuConfig` for a merely-slow tier.
+    """
+    adapter = NpuLatencyModel(config or NpuConfig()).as_service_backend()
+    service = ServiceTimeModel(
+        model_name, anchor_batches=anchor_batches, latency_model=adapter
+    )
+    return ServerSpec(
+        name=name,
+        speed=_measured_speed(service, reference_batch, mode),
+        service_model=service,
+        device="npu",
+    )
+
+
+# ----------------------------------------------------------------------
+# Autoscalers
+# ----------------------------------------------------------------------
+class Autoscaler(Protocol):
+    """Window-boundary elasticity policy.
+
+    Observes one closed control window (cluster-wide stats) and returns the
+    number of servers that should be active for the next window; the
+    control plane clamps the answer to ``[min_servers, cluster size]`` and
+    picks *which* servers to add/remove (fastest-first on scale-up,
+    slowest-first on scale-down).
+
+    Stateful autoscalers (hysteresis streaks) should also implement
+    ``reset()``; :meth:`ClusterEngine.run` calls it when present so every
+    run of the same deterministic workload starts from the same state.
+    """
+
+    def decide(self, stats: ClusterWindowStats, active: int) -> int:
+        ...
+
+
+@dataclass
+class QueueDepthAutoscaler:
+    """Scale on queue depth with hysteresis.
+
+    Scale **up** by ``step`` whenever the window's mean queue depth exceeds
+    ``scale_up_depth``.  Scale **down** only after ``patience`` consecutive
+    windows below ``scale_down_depth`` — the hysteresis that stops the
+    cluster from flapping on a bursty trace.  The asymmetric thresholds
+    (up >> down) are the second half of the hysteresis band.
+    """
+
+    scale_up_depth: float = 64.0
+    scale_down_depth: float = 8.0
+    patience: int = 2
+    step: int = 1
+    _calm_windows: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale_down_depth > self.scale_up_depth:
+            raise ValueError("scale_down_depth must not exceed scale_up_depth")
+        if self.patience < 1 or self.step < 1:
+            raise ValueError("patience and step must be >= 1")
+
+    def reset(self) -> None:
+        """Clear the hysteresis streak (called by the control plane per run)."""
+        self._calm_windows = 0
+
+    def decide(self, stats: ClusterWindowStats, active: int) -> int:
+        depth = stats.mean_queue_depth
+        if depth > self.scale_up_depth:
+            self._calm_windows = 0
+            return active + self.step
+        if depth < self.scale_down_depth:
+            self._calm_windows += 1
+            if self._calm_windows >= self.patience:
+                self._calm_windows = 0
+                return active - self.step
+            return active
+        self._calm_windows = 0
+        return active
+
+
+@dataclass
+class SloLatencyAutoscaler:
+    """Scale on a windowed latency-percentile SLO with hysteresis.
+
+    Scale **up** when the window's ``percentile`` response time exceeds
+    ``slo_seconds`` — or when the window *dropped* requests: a mass-dropping
+    cluster can show healthy served-latency percentiles precisely because
+    the queue is being culled, so drops are treated as the strongest breach
+    signal.  Scale **down** after ``patience`` consecutive windows in which
+    nothing was dropped and the percentile sits below ``slo_seconds *
+    headroom`` (spare capacity) — so the cluster sheds servers only when
+    the SLO is met with margin.  Windows with no completed responses and no
+    drops leave the size unchanged.
+    """
+
+    slo_seconds: float
+    percentile: float = 99.0
+    headroom: float = 0.5
+    patience: int = 2
+    step: int = 1
+    _calm_windows: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if not 0 < self.headroom <= 1:
+            raise ValueError("headroom must be in (0, 1]")
+        if self.patience < 1 or self.step < 1:
+            raise ValueError("patience and step must be >= 1")
+
+    def reset(self) -> None:
+        """Clear the hysteresis streak (called by the control plane per run)."""
+        self._calm_windows = 0
+
+    def decide(self, stats: ClusterWindowStats, active: int) -> int:
+        if stats.drops > 0:
+            self._calm_windows = 0
+            return active + self.step
+        if stats.latencies.size == 0:
+            return active
+        observed = stats.latency_percentile(self.percentile)
+        if observed > self.slo_seconds:
+            self._calm_windows = 0
+            return active + self.step
+        if observed < self.slo_seconds * self.headroom:
+            self._calm_windows += 1
+            if self._calm_windows >= self.patience:
+                self._calm_windows = 0
+                return active - self.step
+            return active
+        self._calm_windows = 0
+        return active
+
+
+# ----------------------------------------------------------------------
+# Control plane
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run: engine result + telemetry + scale events."""
+
+    result: EngineResult
+    telemetry: TelemetryBus
+    scale_events: List[ScaleEvent]
+    specs: List[ServerSpec]
+    initial_active: int = 0
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return self.result.latencies
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    def latency_percentile(self, percentile: float) -> float:
+        return latency_percentile(self.latencies, percentile)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99)
+
+    def slo_attainment(self, slo_seconds: float) -> float:
+        """Fraction of admitted requests served within a response-time SLO.
+
+        Dropped requests count as misses (their latency slot is ``nan``).
+        """
+        return attainment_within(self.result.request_latencies, slo_seconds)
+
+    @property
+    def server_seconds(self) -> float:
+        """Accumulated busy seconds across servers (the run's compute bill)."""
+        return self.result.busy_time
+
+    @property
+    def peak_active(self) -> int:
+        """Largest active-set size reached during the run."""
+        return max(
+            [self.initial_active]
+            + [event.active_after for event in self.scale_events]
+        )
+
+    def active_timeline(self) -> List[Dict[str, float]]:
+        """``[{"time", "active"}...]`` — cluster size over the run."""
+        return [{"time": 0.0, "active": float(self.initial_active)}] + [
+            {"time": event.time, "active": float(event.active_after)}
+            for event in self.scale_events
+        ]
+
+
+_PLACERS = ("free_clock", "least_work", "weighted")
+
+
+class ClusterEngine:
+    """Heterogeneous serving cluster with telemetry and elastic autoscaling.
+
+    ``specs`` define the servers (order = server ids; put fast servers
+    first so tie-breaks favour them).  ``placer`` is a
+    :class:`~repro.serving.placement.Placer` instance or one of
+    ``"free_clock"``, ``"least_work"``, ``"weighted"`` (speeds taken from
+    the specs); ``None`` keeps the engine's inlined seed dispatch.
+
+    With an ``autoscaler`` the run starts at ``initial_servers`` active
+    (default ``min_servers``) and re-evaluates the size at every telemetry
+    window boundary; newly activated servers become available
+    ``startup_delay`` seconds after the decision (provisioning lag).
+    Scale-up activates the fastest parked server, scale-down parks the
+    slowest active one, and every decision lands in the telemetry timeline.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ServerSpec],
+        batching: Optional[BatchingConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+        placer: Union[Placer, str, None] = None,
+        window: float = 1.0,
+        autoscaler: Optional[Autoscaler] = None,
+        min_servers: int = 1,
+        initial_servers: Optional[int] = None,
+        startup_delay: float = 0.0,
+    ) -> None:
+        if not specs:
+            raise ValueError("a cluster needs at least one ServerSpec")
+        self.specs = list(specs)
+        self.autoscaler = autoscaler
+        self.min_servers = int(min_servers)
+        if not 1 <= self.min_servers <= len(self.specs):
+            raise ValueError("min_servers must be in [1, len(specs)]")
+        self.initial_servers = (
+            self.min_servers if initial_servers is None else int(initial_servers)
+        )
+        if not self.min_servers <= self.initial_servers <= len(self.specs):
+            raise ValueError("initial_servers must be in [min_servers, len(specs)]")
+        self.startup_delay = float(startup_delay)
+        if self.startup_delay < 0:
+            raise ValueError("startup_delay must be >= 0")
+        self.telemetry = TelemetryBus(window=window, num_servers=len(self.specs))
+        self.engine = ServingEngine(
+            batching=batching,
+            num_servers=len(self.specs),
+            scheduler=scheduler,
+            placer=self.resolve_placer(placer),
+            telemetry=self.telemetry,
+        )
+
+    @property
+    def speeds(self) -> List[float]:
+        return [spec.speed for spec in self.specs]
+
+    def resolve_placer(self, placer: Union[Placer, str, None]) -> Optional[Placer]:
+        if placer is None:
+            return None
+        if isinstance(placer, str):
+            if placer == "free_clock":
+                return FreeClockPlacer()
+            if placer == "least_work":
+                return LeastOutstandingWorkPlacer(self.speeds)
+            if placer == "weighted":
+                return WeightedSpeedPlacer(self.speeds)
+            raise ValueError(
+                f"unknown placer {placer!r}; named placers: {', '.join(_PLACERS)}"
+            )
+        return placer
+
+    def affinity_placer(
+        self, affinity: Dict[str, Sequence[int]], within: Union[Placer, str, None] = None
+    ) -> ModelAffinityPlacer:
+        """Partitioned placement over this cluster's servers."""
+        inner = self.resolve_placer(within)
+        return ModelAffinityPlacer(
+            affinity, within=inner if inner is not None else FreeClockPlacer()
+        )
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        policy: Optional[RatioPolicy] = None,
+        mode: str = "flexiq",
+        executors: Optional[Sequence[Executor]] = None,
+    ) -> None:
+        """Register a model across the cluster (one executor per server).
+
+        By default each server executes through its own spec's backend
+        (heterogeneous service times); pass ``executors`` to override, e.g.
+        with per-server :class:`~repro.serving.executors.RuntimeExecutor`
+        instances owning real prepared-kernel caches.
+        """
+        if executors is None:
+            executors = [spec.build_executor() for spec in self.specs]
+        self.engine.register(name, list(executors), policy=policy, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Driving a run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Optional[RequestTrace] = None,
+        requests: Optional[Sequence[Request]] = None,
+        model: Optional[str] = None,
+        duration: Optional[float] = None,
+        record_responses: Optional[bool] = None,
+    ) -> ClusterResult:
+        """Serve a trace/request list under the control plane.
+
+        Identical surface to :meth:`ServingEngine.run`; between batches the
+        control loop closes telemetry windows and applies autoscaler
+        decisions.  Without an autoscaler this is exactly an engine run
+        plus telemetry.
+        """
+        if (trace is None) == (requests is None):
+            raise ValueError("provide exactly one of trace or requests")
+        self.telemetry.reset()
+        if self.autoscaler is not None and hasattr(self.autoscaler, "reset"):
+            self.autoscaler.reset()
+        self.engine.start(
+            trace=trace,
+            requests=requests,
+            model=model,
+            duration=duration,
+            record_responses=record_responses,
+        )
+        if self.autoscaler is not None:
+            self.engine.set_active_servers(range(self.initial_servers))
+        next_boundary = self.telemetry.window
+        closed = 0
+        while True:
+            record = self.engine.step()
+            if record is None:
+                break
+            # Close every window boundary the clock has passed.  Batch start
+            # times are not strictly monotone across servers, so a boundary
+            # closes when *some* batch starts beyond it; stragglers still
+            # land in their own (already-closed) window's telemetry cell,
+            # only the scaling decision sees them late.
+            while self.autoscaler is not None and record.start >= next_boundary:
+                self._close_window(closed, next_boundary)
+                closed += 1
+                next_boundary = (closed + 1) * self.telemetry.window
+        result = self.engine.finish()
+        return ClusterResult(
+            result=result,
+            telemetry=self.telemetry,
+            scale_events=list(self.telemetry.scale_events),
+            specs=self.specs,
+            initial_active=(
+                self.initial_servers
+                if self.autoscaler is not None
+                else len(self.specs)
+            ),
+        )
+
+    def _close_window(self, window: int, boundary: float) -> None:
+        """Apply one autoscaling decision at a window boundary."""
+        active = self.engine.active_servers
+        stats = self.telemetry.cluster_window(window, active_servers=active)
+        target = int(self.autoscaler.decide(stats, len(active)))
+        target = max(self.min_servers, min(target, len(self.specs)))
+        if target == len(active):
+            return
+        # Signal-neutral audit line: the window's load picture, not a guess
+        # at which signal the autoscaler keyed on.
+        p99 = (
+            f"{stats.latency_percentile(99) * 1e3:.0f}ms"
+            if stats.latencies.size
+            else "n/a"
+        )
+        reason = (
+            f"window {window}: depth={stats.mean_queue_depth:.1f}, "
+            f"p99={p99}, drops={stats.drops}"
+        )
+        order = sorted(
+            range(len(self.specs)), key=lambda s: (-self.specs[s].speed, s)
+        )
+        if target > len(active):
+            parked = [s for s in order if s not in active]
+            added = parked[: target - len(active)]
+            new_active = sorted(active + added)
+            self.engine.set_active_servers(
+                new_active, available_from=boundary + self.startup_delay
+            )
+            for server in added:
+                self.telemetry.record_scale_event(
+                    ScaleEvent(
+                        time=boundary,
+                        action="add",
+                        server=server,
+                        active_after=len(new_active),
+                        reason=reason,
+                    )
+                )
+        else:
+            removable = [s for s in reversed(order) if s in active]
+            removed = removable[: len(active) - target]
+            new_active = sorted(s for s in active if s not in removed)
+            self.engine.set_active_servers(new_active)
+            for server in removed:
+                self.telemetry.record_scale_event(
+                    ScaleEvent(
+                        time=boundary,
+                        action="remove",
+                        server=server,
+                        active_after=len(new_active),
+                        reason=reason,
+                    )
+                )

@@ -20,10 +20,22 @@ ratio it runs at are pluggable:
   :class:`~repro.serving.schedulers.PriorityScheduler` and the SLO-aware
   :class:`~repro.serving.schedulers.EdfScheduler` reorder queued requests by
   per-request ``priority``/``deadline`` fields.
+* :class:`~repro.serving.placement.Placer` — which server the next batch
+  runs on.  ``placer=None`` keeps the seed argmin-free-clock dispatch
+  (inlined, bit-identical); heterogeneous clusters plug in least-work,
+  weighted-by-speed or model-affinity placement (see
+  :mod:`repro.serving.placement` and :mod:`repro.serving.cluster`).
 * :class:`RatioPolicy` — picks the 4-bit ratio for each batch.  Policies see
   a :class:`~repro.serving.policies.PolicyContext` (start time, queue depth,
-  batch size, server); legacy one-argument ``select(time)`` policies keep
-  working through an adapter (see :mod:`repro.serving.policies`).
+  batch size, server, and — when the engine carries a
+  :class:`~repro.serving.telemetry.TelemetryBus` — the windowed per-server
+  telemetry); legacy one-argument ``select(time)`` policies keep working
+  through an adapter (see :mod:`repro.serving.policies`).
+
+An engine given a :class:`~repro.serving.telemetry.TelemetryBus` publishes
+per-batch and per-drop events to it, and :meth:`ServingEngine.
+set_active_servers` lets a control plane grow/shrink the serving set at run
+time — the hooks :mod:`repro.serving.cluster` builds elastic autoscaling on.
 
 Admission is incremental: :meth:`ServingEngine.start` opens a session,
 :meth:`ServingEngine.submit` pushes requests while the engine runs,
@@ -55,7 +67,18 @@ from __future__ import annotations
 import bisect
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 import numpy as np
 
@@ -65,8 +88,12 @@ from repro.serving.metrics import (
     slo_attainment,
     summarize_latencies,
 )
+from repro.serving.placement import Placer, PlacementContext
 from repro.serving.policies import PolicyContext
 from repro.serving.schedulers import FifoScheduler, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.telemetry import TelemetryBus
 
 
 @dataclass
@@ -422,6 +449,11 @@ class _Session:
         self.dropped = 0
         self.free_at: List[float] = [0.0] * num_servers
         self.busy: List[float] = [0.0] * num_servers
+        # Servers eligible for new batches (ascending ids).  The control
+        # plane shrinks/grows this set at window boundaries (elastic
+        # autoscaling); a deactivated server finishes its running batch but
+        # receives no new ones.
+        self.active: List[int] = list(range(num_servers))
         # Pending admission, sorted by arrival: positions >= ``pos`` are not
         # yet served (FIFO path) / not yet admitted to the queue (scheduled
         # path).  ``pend_slots[p]`` maps a pending position back to the
@@ -466,12 +498,21 @@ class ServingEngine:
         batching: Optional[BatchingConfig] = None,
         num_servers: int = 1,
         scheduler: Optional[Scheduler] = None,
+        placer: Optional[Placer] = None,
+        telemetry: Optional["TelemetryBus"] = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError("num_servers must be >= 1")
         self.batching = batching if batching is not None else BatchingConfig()
         self.num_servers = int(num_servers)
         self.scheduler = scheduler
+        # ``placer=None`` keeps the inlined argmin-free-clock dispatch (the
+        # seed rule, bit-identical); a Placer generalizes server selection
+        # for heterogeneous clusters (see repro.serving.placement).
+        self.placer = placer
+        # Optional telemetry bus: receives per-batch/per-drop events for the
+        # cluster control plane (see repro.serving.telemetry).
+        self.telemetry = telemetry
         self._fifo = scheduler is None or isinstance(scheduler, FifoScheduler)
         self._endpoints: Dict[str, _Endpoint] = {}
         self._session: Optional[_Session] = None
@@ -713,6 +754,65 @@ class ServingEngine:
             raise RuntimeError("no serving session open; call start() (or run())")
         return self._session
 
+    # ------------------------------------------------------------------
+    # Elasticity (cluster control plane)
+    # ------------------------------------------------------------------
+    @property
+    def active_servers(self) -> List[int]:
+        """Server ids eligible for new batches in the open session."""
+        return list(self._require_session().active)
+
+    def set_active_servers(
+        self,
+        servers: Sequence[int],
+        available_from: Optional[float] = None,
+    ) -> None:
+        """Resize the set of servers receiving new batches (elastic scaling).
+
+        ``servers`` are the ids (0-based) to keep active; at least one is
+        required, and deactivated servers simply stop receiving batches
+        (one already running finishes normally).  ``available_from``
+        models provisioning lag: a *newly* activated server's clock is
+        advanced to at least that time, so scale-up capacity does not
+        retroactively serve the past.
+        """
+        session = self._require_session()
+        active = sorted({int(server) for server in servers})
+        if not active:
+            raise ValueError("at least one server must stay active")
+        for server in active:
+            if not 0 <= server < self.num_servers:
+                raise ValueError(
+                    f"server {server} out of range (num_servers={self.num_servers})"
+                )
+        if available_from is not None:
+            previous = set(session.active)
+            for server in active:
+                if server not in previous:
+                    session.free_at[server] = max(
+                        session.free_at[server], float(available_from)
+                    )
+        session.active = active
+
+    def _select_server(
+        self, s: _Session, time: float, model: str, pending: int, arrived: int
+    ) -> int:
+        """Pick the server for the next batch via the configured placer."""
+        context = PlacementContext(
+            time=time,
+            free_at=s.free_at,
+            active=s.active,
+            model=model,
+            pending=pending,
+            batch_hint=max(1, min(arrived, self.batching.max_batch)),
+        )
+        server = int(self.placer.place(context))
+        if server not in s.active:
+            raise ValueError(
+                f"placer returned server {server}, not in the active set {s.active}"
+            )
+        return server
+
     def _start_policies(
         self,
         arrivals: np.ndarray,
@@ -747,9 +847,30 @@ class ServingEngine:
             num_requests = len(arrivals)
             if s.pos >= num_requests:
                 return None
-            server = min(range(self.num_servers), key=s.free_at.__getitem__)
             index = s.pos
             first_arrival = arrivals[index]
+            if self.placer is None:
+                # The seed dispatch rule, inlined (bit-identical fast path).
+                server = min(s.active, key=s.free_at.__getitem__)
+            else:
+                head_model = (
+                    s.single_model
+                    if request_objs is None
+                    else request_objs[int(s.pend_slots[index])].model
+                )
+                # Size hint: arrivals by the *earliest possible* service
+                # start (the earliest-free active clock), not by the head's
+                # arrival — under backlog the batch really forms then, and
+                # a head-arrival count (usually 1) would under-cost slow
+                # servers by up to max_batch x.
+                est_start = max(
+                    min(s.free_at[server] for server in s.active),
+                    float(first_arrival),
+                )
+                arrived = bisect.bisect_right(arrivals, est_start, lo=index) - index
+                server = self._select_server(
+                    s, float(first_arrival), head_model, num_requests - index, arrived
+                )
             start = max(s.free_at[server], first_arrival)
             # All requests that have arrived by the time the server starts.
             end_index = bisect.bisect_right(arrivals, start, lo=index)
@@ -757,16 +878,18 @@ class ServingEngine:
             if drop_after is not None:
                 # Expired requests form a prefix of the arrived window
                 # (arrivals are sorted); drop it *before* forming the batch
-                # so drops never consume batch slots (backfill).
+                # so drops never consume batch slots (backfill).  Restart
+                # the dispatch loop afterwards: the head (and possibly its
+                # model) changed, so the placer must re-decide.  Bit-
+                # identical for the seed rule: drops imply the start was
+                # free-clock-dominated, so the re-derived batch is the same.
                 fresh = _expired_prefix_end(
                     arrivals, index, end_index, start, drop_after
                 )
                 if fresh > index:
                     self._drop(s, s.pend_slots[index:fresh], start)
-                    index = fresh
-                    s.pos = index
-                    if index >= end_index:
-                        continue
+                    s.pos = fresh
+                    continue
 
             limit = min(end_index, index + max_batch)
             if limit == index:
@@ -805,11 +928,19 @@ class ServingEngine:
         while True:
             if not s.queue and s.pos >= len(s.pend_arrivals):
                 return None
-            server = min(range(self.num_servers), key=s.free_at.__getitem__)
             if s.queue:
-                start = max(s.free_at[server], self._earliest_queued_arrival(s))
+                head_time = self._earliest_queued_arrival(s)
             else:
-                start = max(s.free_at[server], s.pend_arrivals[s.pos])
+                head_time = float(s.pend_arrivals[s.pos])
+            # Admission and expiry run against the earliest-free active
+            # clock *before* placement: admitting can reorder the queue
+            # head (EDF/priority) and expiry can remove it, and the placer
+            # must see the head that will actually lead the batch.  With
+            # ``placer=None`` the dispatched server IS the earliest-free
+            # one, so this is exactly the seed arithmetic.
+            start = max(
+                min(s.free_at[server] for server in s.active), head_time
+            )
             # Admit everything that has arrived by the batch start.
             end_index = bisect.bisect_right(s.pend_arrivals, start, lo=s.pos)
             for position in range(s.pos, end_index):
@@ -822,27 +953,41 @@ class ServingEngine:
                 s.queued_slots.add(slot)
             s.pos = end_index
 
-            if drop_after is not None:
-                # Expiry depends only on arrival, so the earliest queued
-                # arrival tells in O(1) whether anything expired at all;
-                # the O(queue) filter below runs only when something did.
-                if start - self._earliest_queued_arrival(s) > drop_after:
-                    expired = [e for e in s.queue if start - e[1] > drop_after]
-                    kept = [e for e in s.queue if start - e[1] <= drop_after]
-                    heapq.heapify(kept)
-                    s.queue = kept
-                    s.queued_slots.difference_update(e[2] for e in expired)
-                    self._drop(
-                        s,
-                        np.asarray([e[2] for e in expired], dtype=np.intp),
-                        start,
-                    )
-                    if not s.queue:
+            # Expiry restarts the loop after dropping: the queue head (and
+            # its model) may have changed, so placement must re-decide.
+            # Bit-identical for the seed rule: every kept entry arrived by
+            # ``start`` and none is expired, so the re-derived
+            # start/admissions/batch are unchanged.
+            if drop_after is not None and self._expire_queued(s, start, drop_after):
+                continue
+
+            # The queue head is now final: place the batch's server.  The
+            # seed rule re-derives the earliest-free server (``start`` is
+            # already its clock, bit-identical); a placer may pick a later-
+            # free server, whose service then begins when that server frees
+            # (admission stays anchored to the earliest-free clock, so a
+            # batch never contains a request that has not arrived by its
+            # service start).
+            head_model = request_objs[s.queue[0][2]].model
+            if self.placer is None:
+                server = min(s.active, key=s.free_at.__getitem__)
+            else:
+                pending = len(s.queue) + (len(s.pend_arrivals) - s.pos)
+                server = self._select_server(
+                    s, start, head_model, pending, len(s.queue)
+                )
+                placed_start = max(s.free_at[server], start)
+                if placed_start > start and drop_after is not None:
+                    # The placed server frees later than the earliest-free
+                    # clock the expiry ran against: re-check against the
+                    # real service start so drop_after means the same thing
+                    # on every path (a request never waits beyond it).
+                    if self._expire_queued(s, placed_start, drop_after):
                         continue
+                start = placed_start
 
             # Pop same-model requests in scheduler order; requests of other
             # models encountered along the way go back on the heap.
-            head_model = request_objs[s.queue[0][2]].model
             queue_depth = len(s.queue)
             batch_entries: List[Tuple[Tuple, float, int]] = []
             stash: List[Tuple[Tuple, float, int]] = []
@@ -857,6 +1002,26 @@ class ServingEngine:
             s.queued_slots.difference_update(entry[2] for entry in batch_entries)
             slots = np.asarray([entry[2] for entry in batch_entries], dtype=np.intp)
             return self._execute(s, server, start, head_model, slots, queue_depth)
+
+    def _expire_queued(self, s: _Session, start: float, drop_after: float) -> bool:
+        """Drop queued requests that waited beyond ``drop_after`` by ``start``.
+
+        Returns True when anything was dropped (callers restart their
+        dispatch loop: the queue head may have changed).  The earliest
+        queued arrival answers in O(1) whether anything expired at all; the
+        O(queue) filter runs only when something did.
+        """
+        if not s.queue:
+            return False
+        if not (start - self._earliest_queued_arrival(s) > drop_after):
+            return False
+        expired = [e for e in s.queue if start - e[1] > drop_after]
+        kept = [e for e in s.queue if start - e[1] <= drop_after]
+        heapq.heapify(kept)
+        s.queue = kept
+        s.queued_slots.difference_update(e[2] for e in expired)
+        self._drop(s, np.asarray([e[2] for e in expired], dtype=np.intp), start)
+        return True
 
     @staticmethod
     def _earliest_queued_arrival(s: _Session) -> float:
@@ -891,6 +1056,8 @@ class ServingEngine:
             batch_size=batch_size,
             model=head_model,
             server=server,
+            telemetry=self.telemetry,
+            num_active=len(s.active),
         )
         ratio = float(endpoint.select(context))
         batch = Batch(
@@ -918,6 +1085,22 @@ class ServingEngine:
             head_model, start, finish, batch_size, ratio, endpoint.mode, server
         )
         s.records.append(record)
+        if self.telemetry is not None:
+            deadline_total = deadline_met = 0
+            if s.request_objs is not None:
+                for slot in slots:
+                    deadline = s.request_objs[int(slot)].deadline
+                    if deadline is not None:
+                        deadline_total += 1
+                        if finish <= deadline:
+                            deadline_met += 1
+            self.telemetry.record_batch(
+                record,
+                queue_depth=queue_depth,
+                latencies=finish - s.slot_arrivals[slots],
+                deadline_total=deadline_total,
+                deadline_met=deadline_met,
+            )
         if s.responses is not None:
             outputs = execution.outputs
             for position, slot in enumerate(slots):
@@ -934,6 +1117,14 @@ class ServingEngine:
         """Expire ``slots`` (waited beyond ``drop_after``) at time ``start``."""
         s.dropped += len(slots)
         s.latencies[slots] = np.nan
+        if self.telemetry is not None:
+            misses = 0
+            if s.request_objs is not None:
+                misses = sum(
+                    1 for slot in slots
+                    if s.request_objs[int(slot)].deadline is not None
+                )
+            self.telemetry.record_drops(start, len(slots), deadline_misses=misses)
         if s.responses is not None:
             for slot in slots:
                 slot = int(slot)

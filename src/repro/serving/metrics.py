@@ -29,6 +29,17 @@ def latency_percentiles(
     }
 
 
+def latency_percentile(latencies: Sequence[float], percentile: float) -> float:
+    """One percentile of a latency sample (``nan`` for an empty sample).
+
+    The single-value companion of :func:`latency_percentiles`, shared by
+    the cluster-layer stats objects so the label scheme lives here only.
+    """
+    return latency_percentiles(latencies, (percentile,))[
+        _percentile_label(percentile)
+    ]
+
+
 def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
     """Median/p90/p99/mean/max summary of a latency sample (seconds).
 
@@ -51,6 +62,22 @@ def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
         "max": float(values.max()),
         "count": float(values.size),
     }
+
+
+def attainment_within(latencies: Sequence[float], slo_seconds: float) -> float:
+    """Fraction of requests whose response time met a latency SLO.
+
+    The latency-SLO twin of :func:`slo_attainment` (which scores absolute
+    per-request deadlines): here every request shares one response-time
+    budget.  ``nan`` entries mark dropped requests and count as misses —
+    they were admitted and not served in time.  Returns ``nan`` for an
+    empty sample.  Used by the cluster control plane for windowed and
+    whole-run SLO reporting.
+    """
+    values = np.asarray(latencies, dtype=np.float64)
+    if values.size == 0:
+        return float("nan")
+    return np.count_nonzero(values <= float(slo_seconds)) / values.size
 
 
 def slo_attainment(

@@ -1,0 +1,179 @@
+"""Placement: pluggable server-selection rules for the serving engine.
+
+The seed engine hard-coded *argmin-free-clock* dispatch: every batch goes to
+the server whose clock frees earliest.  On a homogeneous cluster that rule is
+work-conserving and near-optimal, but on a **heterogeneous** cluster it has a
+classic failure mode: an idle slow server always has the earliest free clock,
+so it keeps winning batches that a busy fast server would nevertheless have
+*finished* sooner.  A :class:`Placer` generalizes the selection while the
+engine keeps its invariants (the placer only picks *which* server runs the
+next batch; admission, batching and scheduling are unchanged).
+
+Four disciplines ship with the engine:
+
+* :class:`FreeClockPlacer` — argmin over free clocks; the seed behaviour and
+  the compatibility default (an engine built with ``placer=None`` takes the
+  inlined fast path, bit-identical to the seed simulator at ``num_servers=1``).
+* :class:`LeastOutstandingWorkPlacer` — minimize the server's outstanding
+  *work* (backlog seconds plus the estimated service seconds of the candidate
+  batch).  Needs per-server speeds; on a mixed-speed cluster it stops feeding
+  idle slow servers as soon as their service time exceeds a fast server's
+  backlog-plus-service.
+* :class:`WeightedSpeedPlacer` — earliest estimated *completion* (speed-
+  weighted free clock): ``max(free_at, now) + batch_hint / speed``.  The
+  scheduling-theory ECT rule; differs from least-work in charging the wait
+  until the server frees, not just the work itself.
+* :class:`ModelAffinityPlacer` — partitioned / affinity placement: each model
+  is restricted to a subset of servers (e.g. models pinned to the accelerators
+  holding their weights), with any placer as the rule within the subset.
+
+Per-server speeds are expressed in requests/second at a reference batch size
+(see :meth:`repro.serving.cluster.ServerSpec.speed`); only their *ratios*
+matter to the placers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+
+@dataclass
+class PlacementContext:
+    """What a placer sees when the engine is about to form a batch.
+
+    ``time`` is the head-of-line arrival time of the request triggering the
+    batch (the earliest possible service start).  ``free_at`` holds every
+    server's clock (indexable by server id, including inactive servers);
+    ``active`` lists the ids eligible for placement, ascending.  ``model`` is
+    the model the batch will serve, ``pending`` counts requests known to be
+    waiting, and ``batch_hint`` estimates how many will ride in the batch
+    (pending requests arrived by ``time``, capped at ``max_batch``) — an
+    estimate only, since the batch is formed *after* the server is chosen
+    and later arrivals may still join it.
+    """
+
+    time: float
+    free_at: Sequence[float]
+    active: Sequence[int]
+    model: str = ""
+    pending: int = 0
+    batch_hint: int = 1
+
+
+@runtime_checkable
+class Placer(Protocol):
+    """Server-selection rule: return the server id for the next batch.
+
+    The returned id must be a member of ``context.active``; the engine
+    validates this and raises otherwise.
+    """
+
+    def place(self, context: PlacementContext) -> int:
+        ...
+
+
+class FreeClockPlacer:
+    """Argmin over server free clocks (the seed rule, ties to lowest id)."""
+
+    def place(self, context: PlacementContext) -> int:
+        return min(context.active, key=context.free_at.__getitem__)
+
+
+def _validated_speeds(speeds: Sequence[float]) -> List[float]:
+    values = [float(s) for s in speeds]
+    if not values:
+        raise ValueError("speeds must be non-empty")
+    if any(s <= 0 for s in values):
+        raise ValueError("speeds must be positive (requests/second)")
+    return values
+
+
+class LeastOutstandingWorkPlacer:
+    """Minimize outstanding work: backlog seconds + candidate batch seconds.
+
+    ``score(s) = max(free_at[s] - now, 0) + batch_hint / speed[s]``: the
+    total service-seconds the server would owe after accepting the batch.
+    Unlike the free-clock rule, an idle slow server only wins when its
+    service time for the batch undercuts a fast server's backlog plus
+    service — so slow servers absorb overflow instead of stealing
+    head-of-line work.  Ties prefer the faster server, then the lower id.
+    """
+
+    def __init__(self, speeds: Sequence[float]) -> None:
+        self.speeds = _validated_speeds(speeds)
+
+    def place(self, context: PlacementContext) -> int:
+        now = context.time
+        hint = max(context.batch_hint, 1)
+
+        def score(server: int) -> Tuple[float, float, int]:
+            speed = self.speeds[server]
+            backlog = max(context.free_at[server] - now, 0.0)
+            return (backlog + hint / speed, -speed, server)
+
+        return min(context.active, key=score)
+
+
+class WeightedSpeedPlacer:
+    """Earliest estimated completion, speed-weighted (the ECT rule).
+
+    ``score(s) = max(free_at[s], now) + batch_hint / speed[s]``: when the
+    batch would *finish* if placed on ``s``.  Identical to least-work when
+    every server is backlogged; differs for idle servers, whose idle-since
+    gap costs nothing here (service cannot start before ``now`` anyway).
+    Ties prefer the faster server, then the lower id.
+    """
+
+    def __init__(self, speeds: Sequence[float]) -> None:
+        self.speeds = _validated_speeds(speeds)
+
+    def place(self, context: PlacementContext) -> int:
+        now = context.time
+        hint = max(context.batch_hint, 1)
+
+        def score(server: int) -> Tuple[float, float, int]:
+            speed = self.speeds[server]
+            return (max(context.free_at[server], now) + hint / speed, -speed, server)
+
+        return min(context.active, key=score)
+
+
+class ModelAffinityPlacer:
+    """Partitioned placement: each model restricted to its affine servers.
+
+    ``affinity`` maps model name to the server ids allowed to serve it
+    (models absent from the map may use any server).  Within the allowed
+    set, ``within`` decides (free-clock by default).  If none of a model's
+    affine servers is currently active — e.g. the autoscaler parked them —
+    the restriction is waived rather than stalling the queue, so requests
+    are always serviceable.
+    """
+
+    def __init__(
+        self,
+        affinity: Dict[str, Sequence[int]],
+        within: Optional[Placer] = None,
+    ) -> None:
+        self.affinity = {
+            str(model): sorted({int(s) for s in servers})
+            for model, servers in affinity.items()
+        }
+        self.within = within if within is not None else FreeClockPlacer()
+
+    def place(self, context: PlacementContext) -> int:
+        allowed = self.affinity.get(context.model)
+        active: Sequence[int] = context.active
+        if allowed is not None:
+            restricted = [server for server in active if server in allowed]
+            if restricted:
+                active = restricted
+        inner = PlacementContext(
+            time=context.time,
+            free_at=context.free_at,
+            active=active,
+            model=context.model,
+            pending=context.pending,
+            batch_hint=context.batch_hint,
+        )
+        return self.within.place(inner)

@@ -29,7 +29,7 @@ callable either way; user code rarely needs it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.data.traces import RequestTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.controller import AdaptiveRatioController
+    from repro.serving.telemetry import TelemetryBus
 
 
 @dataclass
@@ -49,6 +50,12 @@ class PolicyContext:
     (including the ones about to ride in it), ``batch_size`` is the size of
     the batch being launched, and ``model``/``server`` identify the endpoint
     and accelerator.
+
+    When the engine carries a :class:`~repro.serving.telemetry.TelemetryBus`
+    it is exposed as ``telemetry`` (``None`` otherwise), giving policies
+    windowed *per-server* signals — served rate, utilization, queue depth —
+    instead of only the instantaneous ones; ``num_active`` is the current
+    size of the active server set (elastic clusters shrink/grow it).
     """
 
     time: float
@@ -56,6 +63,8 @@ class PolicyContext:
     batch_size: int = 0
     model: str = ""
     server: int = 0
+    telemetry: Optional["TelemetryBus"] = None
+    num_active: int = 0
 
 
 def policy_selector(policy) -> Callable[[PolicyContext], float]:
@@ -203,3 +212,76 @@ class AdaptiveRatioPolicy:
         if self.window_ratios.size == 0:
             return 0.0
         return float(np.mean(self.window_ratios))
+
+
+class PerServerAdaptiveRatioPolicy:
+    """Per-server ratio adaptation driven by per-server telemetry signals.
+
+    The seed controller (and :class:`AdaptiveRatioPolicy`) observes the
+    *global* trace rate per control window — every server then runs the same
+    ratio, even when placement has concentrated the load on a few of them.
+    This policy closes the ROADMAP item: it keeps **one
+    :class:`AdaptiveRatioController` per server** (built by
+    ``controller_factory``, so each holds independent state) and feeds each
+    controller the rate *its* server actually served over the previous
+    window, read from the engine's
+    :class:`~repro.serving.telemetry.TelemetryBus` through the policy
+    context.  Without a telemetry bus it falls back to the instantaneous
+    queue-depth-per-window rate, a conservative local signal.
+
+    A controller is updated lazily: the first batch a server runs in a new
+    control window triggers one ``update()``.  The rate it observes is the
+    served rate of the *telemetry bus's* most recent completed window — the
+    freshest per-server signal available — so ``control_window`` (the
+    update cadence) and the bus's aggregation window may differ without the
+    policy silently reading a stale interval.  ``timeline`` records every
+    update as ``{"server", "window", "rate", "ratio"}`` for reporting.
+    """
+
+    accepts_context = True
+
+    def __init__(
+        self,
+        controller_factory: Callable[[], "AdaptiveRatioController"],
+        control_window: float = 1.0,
+    ) -> None:
+        self.controller_factory = controller_factory
+        self.control_window = float(control_window)
+        self.controllers: Dict[int, "AdaptiveRatioController"] = {}
+        self.timeline: List[Dict[str, float]] = []
+        self._last_window: Dict[int, int] = {}
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        self.controllers = {}
+        self.timeline = []
+        self._last_window = {}
+
+    def controller_for(self, server: int) -> "AdaptiveRatioController":
+        controller = self.controllers.get(server)
+        if controller is None:
+            controller = self.controllers[server] = self.controller_factory()
+        return controller
+
+    def select(self, context: PolicyContext) -> float:
+        server = context.server
+        controller = self.controller_for(server)
+        window = int(context.time / self.control_window)
+        if window > self._last_window.get(server, -1):
+            if context.telemetry is not None:
+                # Query in the *bus's* window units: the most recent
+                # completed telemetry window before this batch's start.
+                bus_window = context.telemetry.window_index(context.time)
+                rate = context.telemetry.served_rate(server, bus_window - 1)
+            else:
+                rate = context.queue_depth / self.control_window
+            ratio = controller.update(float(rate))
+            self.timeline.append(
+                {
+                    "server": float(server),
+                    "window": float(window),
+                    "rate": float(rate),
+                    "ratio": float(ratio),
+                }
+            )
+            self._last_window[server] = window
+        return float(controller.current_ratio)

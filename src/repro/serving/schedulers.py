@@ -31,6 +31,12 @@ Every scheduler other than FIFO requires explicit
 :class:`~repro.serving.engine.Request` lists: the trace-only fast path
 carries arrival times and nothing else, and the engine's scheduled loop
 reads the queued ``Request`` objects to form same-model batches.
+
+Scheduling is orthogonal to *placement*: a scheduler orders **which
+request** serves next, a :class:`~repro.serving.placement.Placer` picks
+**which server** runs the batch.  The two compose freely — e.g. EDF
+ordering with weighted-by-speed placement on a heterogeneous cluster (see
+``tests/test_serving_cluster.py``).
 """
 
 from __future__ import annotations

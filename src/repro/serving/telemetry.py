@@ -1,0 +1,296 @@
+"""Telemetry bus: windowed per-server time-series for the cluster control plane.
+
+The engine's :class:`~repro.serving.engine.EngineResult` summarizes a whole
+run; control-plane components (autoscalers, per-server ratio policies,
+operators reading a timeline) instead need *windowed, per-server* signals
+while the run is still in flight.  A :class:`TelemetryBus` attached to a
+:class:`~repro.serving.engine.ServingEngine` receives one event per executed
+batch and per drop, aggregates them into fixed control windows, and answers
+queries per server, per window, or cluster-wide:
+
+* **queue depth** — mean depth observed when batches formed in the window;
+* **utilization** — accumulated busy seconds (attributed to the window the
+  batch *started* in) over the window length;
+* **executed ratio** — batch-size-weighted 4-bit ratio that actually ran;
+* **SLO attainment** — deadline-carrying requests finishing in time (drops
+  with deadlines count as misses), via :func:`repro.serving.metrics.
+  slo_attainment` semantics;
+* **drops** — requests expired by ``drop_after``;
+* **latencies** — raw response times of the window, for percentile queries
+  built on :func:`repro.serving.metrics.latency_percentiles`.
+
+Scale events (:class:`ScaleEvent`) are appended to the same timeline so a
+run's elasticity decisions are auditable next to the signals that caused
+them.  Ratio policies reach the bus through
+:attr:`repro.serving.policies.PolicyContext.telemetry`, which is how the
+per-server :class:`~repro.serving.policies.PerServerAdaptiveRatioPolicy`
+finally observes per-server rates instead of global window rates.
+
+The bus is opt-in: an engine without one skips every hook, keeping the
+seed-identical fast path untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.serving.metrics import latency_percentile, summarize_latencies
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.engine import BatchRecord
+
+# Server id used for events not attributable to one server (queue-side drops).
+CLUSTER = -1
+
+
+@dataclass
+class ScaleEvent:
+    """One elasticity decision applied at a window boundary."""
+
+    time: float
+    action: str              # "add" | "remove"
+    server: int              # server id activated / deactivated
+    active_after: int        # cluster size after the event
+    reason: str = ""
+
+
+@dataclass
+class _WindowCell:
+    """Mutable per-(server, window) accumulator."""
+
+    served: int = 0
+    batches: int = 0
+    busy: float = 0.0
+    ratio_weight: float = 0.0
+    queue_depth_sum: int = 0
+    drops: int = 0
+    deadline_total: int = 0
+    deadline_met: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ServerWindowStats:
+    """Read-only snapshot of one server over one control window."""
+
+    server: int
+    window: int
+    start: float
+    end: float
+    served: int = 0
+    batches: int = 0
+    busy_time: float = 0.0
+    utilization: float = 0.0
+    mean_queue_depth: float = 0.0
+    executed_ratio: float = float("nan")
+    drops: int = 0
+    deadline_total: int = 0
+    deadline_met: int = 0
+    latencies: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def served_rate(self) -> float:
+        """Requests served per second of window time."""
+        span = self.end - self.start
+        return self.served / span if span > 0 else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying requests served in time (nan if none)."""
+        if self.deadline_total == 0:
+            return float("nan")
+        return self.deadline_met / self.deadline_total
+
+    def latency_percentile(self, percentile: float) -> float:
+        return latency_percentile(self.latencies, percentile)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.latencies)
+
+
+@dataclass
+class ClusterWindowStats(ServerWindowStats):
+    """One window aggregated across the whole cluster (server == CLUSTER)."""
+
+    active_servers: int = 0
+
+
+class TelemetryBus:
+    """Windowed per-server aggregation of serving events.
+
+    ``window`` is the control-window length in simulation seconds.  Events
+    are attributed to the window their timestamp falls in (batches by their
+    *start* time, so a long batch's busy seconds land where the dispatch
+    decision was made).
+    """
+
+    def __init__(self, window: float = 1.0, num_servers: int = 1) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive (seconds)")
+        self.window = float(window)
+        self.num_servers = int(num_servers)
+        self._cells: Dict[Tuple[int, int], _WindowCell] = {}
+        self.scale_events: List[ScaleEvent] = []
+        self.last_window = -1
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engine / control plane)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._cells.clear()
+        self.scale_events.clear()
+        self.last_window = -1
+
+    def window_index(self, time: float) -> int:
+        return int(time / self.window)
+
+    def _cell(self, server: int, window: int) -> _WindowCell:
+        key = (int(server), int(window))
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _WindowCell()
+        if window > self.last_window:
+            self.last_window = int(window)
+        return cell
+
+    def record_batch(
+        self,
+        record: "BatchRecord",
+        queue_depth: int = 0,
+        latencies: Optional[np.ndarray] = None,
+        deadline_total: int = 0,
+        deadline_met: int = 0,
+    ) -> None:
+        """Account one executed batch (engine hook)."""
+        cell = self._cell(record.server, self.window_index(record.start))
+        cell.served += record.size
+        cell.batches += 1
+        cell.busy += record.finish - record.start
+        cell.ratio_weight += record.ratio * record.size
+        cell.queue_depth_sum += int(queue_depth)
+        cell.deadline_total += int(deadline_total)
+        cell.deadline_met += int(deadline_met)
+        if latencies is not None:
+            cell.latencies.extend(float(value) for value in latencies)
+
+    def record_drops(
+        self, time: float, count: int, deadline_misses: int = 0
+    ) -> None:
+        """Account expired requests (queue-side, not owned by any server)."""
+        cell = self._cell(CLUSTER, self.window_index(time))
+        cell.drops += int(count)
+        cell.deadline_total += int(deadline_misses)
+
+    def record_scale_event(self, event: ScaleEvent) -> None:
+        self.scale_events.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _stats_from(
+        self, cell: _WindowCell, server: int, window: int
+    ) -> ServerWindowStats:
+        ratio = (
+            cell.ratio_weight / cell.served if cell.served > 0 else float("nan")
+        )
+        depth = (
+            cell.queue_depth_sum / cell.batches if cell.batches > 0 else 0.0
+        )
+        return ServerWindowStats(
+            server=server,
+            window=window,
+            start=window * self.window,
+            end=(window + 1) * self.window,
+            served=cell.served,
+            batches=cell.batches,
+            busy_time=cell.busy,
+            utilization=cell.busy / self.window,
+            mean_queue_depth=depth,
+            executed_ratio=ratio,
+            drops=cell.drops,
+            deadline_total=cell.deadline_total,
+            deadline_met=cell.deadline_met,
+            latencies=np.asarray(cell.latencies, dtype=np.float64),
+        )
+
+    def server_window(self, server: int, window: int) -> ServerWindowStats:
+        """Stats of one server over one window (zeros when nothing happened)."""
+        cell = self._cells.get((int(server), int(window)), _WindowCell())
+        return self._stats_from(cell, int(server), int(window))
+
+    def server_series(self, server: int) -> List[ServerWindowStats]:
+        """Per-window time-series of one server, windows 0..last seen."""
+        return [
+            self.server_window(server, window)
+            for window in range(self.last_window + 1)
+        ]
+
+    def served_rate(self, server: int, window: int) -> float:
+        """Requests/second one server actually served during a window.
+
+        The per-server load signal the cluster control plane feeds to
+        per-server adaptive ratio controllers (the global-rate signal the
+        seed controller consumed cannot distinguish a hot server from an
+        idle one).
+        """
+        if window < 0:
+            return 0.0
+        return self.server_window(server, window).served_rate
+
+    def cluster_window(
+        self, window: int, active_servers: Optional[Sequence[int]] = None
+    ) -> ClusterWindowStats:
+        """One window aggregated across servers (plus queue-side drops).
+
+        ``active_servers`` scopes utilization to the servers that were
+        actually available (idle *inactive* servers should not dilute it);
+        when omitted, all ``num_servers`` are assumed active.
+        """
+        window = int(window)
+        active = (
+            list(range(self.num_servers))
+            if active_servers is None
+            else [int(s) for s in active_servers]
+        )
+        merged = _WindowCell()
+        for server in list(range(self.num_servers)) + [CLUSTER]:
+            cell = self._cells.get((server, window))
+            if cell is None:
+                continue
+            merged.served += cell.served
+            merged.batches += cell.batches
+            merged.ratio_weight += cell.ratio_weight
+            merged.queue_depth_sum += cell.queue_depth_sum
+            merged.drops += cell.drops
+            merged.deadline_total += cell.deadline_total
+            merged.deadline_met += cell.deadline_met
+            merged.latencies.extend(cell.latencies)
+            if server in active:
+                merged.busy += cell.busy
+        stats = self._stats_from(merged, CLUSTER, window)
+        busy_capacity = max(len(active), 1) * self.window
+        return ClusterWindowStats(
+            server=CLUSTER,
+            window=window,
+            start=stats.start,
+            end=stats.end,
+            served=stats.served,
+            batches=stats.batches,
+            busy_time=stats.busy_time,
+            utilization=merged.busy / busy_capacity,
+            mean_queue_depth=stats.mean_queue_depth,
+            executed_ratio=stats.executed_ratio,
+            drops=stats.drops,
+            deadline_total=stats.deadline_total,
+            deadline_met=stats.deadline_met,
+            latencies=stats.latencies,
+            active_servers=len(active),
+        )
+
+    def cluster_series(self) -> List[ClusterWindowStats]:
+        return [
+            self.cluster_window(window) for window in range(self.last_window + 1)
+        ]

@@ -13,7 +13,14 @@ from repro.data.synthetic import (
     build_dataset,
 )
 from repro.data.text import SyntheticTextCorpus, TextCorpusConfig
-from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
+from repro.data.traces import (
+    DiurnalTrace,
+    FluctuatingTrace,
+    PoissonTrace,
+    RequestTrace,
+    SpikeTrace,
+    merge_traces,
+)
 
 
 class TestSyntheticImages:
@@ -188,3 +195,129 @@ class TestTraces:
         window = 30 / 10
         rates = [trace.rate_in_window(i * window, (i + 1) * window) for i in range(10)]
         assert max(rates) > 1.8 * min(rates)
+
+    def test_fluctuating_phase_rates_cache_invalidated_on_mutation(self):
+        """Regression: the memoized phase rates were never invalidated, so
+        mutating seed/num_phases/min_rate after the first phase_rates() call
+        silently returned rates for the old parameters."""
+        gen = FluctuatingTrace(min_rate=100, peak_ratio=3.0, duration=60, num_phases=12, seed=1)
+        first = gen.phase_rates()
+        gen.seed = 2
+        assert gen.phase_rates() != first          # seed: identical (stale cache)
+        gen.num_phases = 6
+        assert len(gen.phase_rates()) == 6         # seed: still 12 entries
+        gen.min_rate = 500
+        assert min(gen.phase_rates()) >= 500 * 0.9  # seed: rates for min_rate=100
+        # Unchanged parameters still hit the cache (same values back).
+        again = gen.phase_rates()
+        assert again == gen.phase_rates()
+
+    def test_fluctuating_generate_follows_mutated_parameters(self):
+        gen = FluctuatingTrace(min_rate=100, peak_ratio=2.0, duration=10, seed=1)
+        low = gen.generate()
+        gen.min_rate = 1000
+        high = gen.generate()
+        assert high.average_rate > 5 * low.average_rate
+
+
+class TestDiurnalTrace:
+    def test_rate_cycle_floor_and_peak(self):
+        gen = DiurnalTrace(night_rate=100, peak_rate=900, duration=60, period=60, seed=0)
+        assert gen.rate_at(0.0) == pytest.approx(100.0)
+        assert gen.rate_at(30.0) == pytest.approx(900.0)   # midday, half a period in
+        assert gen.rate_at(60.0) == pytest.approx(100.0, abs=1e-6)
+        rates = gen.phase_rates()
+        assert len(rates) == gen.num_phases
+        assert max(rates) > 5 * min(rates)
+
+    def test_generated_trace_tracks_the_cycle(self):
+        trace = DiurnalTrace(
+            night_rate=200, peak_rate=1200, duration=40, period=40, num_phases=40, seed=3
+        ).generate()
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+        assert trace.arrival_times.max() < 40
+        night = trace.rate_in_window(0.0, 5.0)
+        midday = trace.rate_in_window(17.5, 22.5)
+        assert midday > 3 * night
+
+    def test_multiple_periods(self):
+        gen = DiurnalTrace(night_rate=100, peak_rate=500, duration=40, period=20, seed=0)
+        assert gen.rate_at(10.0) == pytest.approx(gen.rate_at(30.0))
+
+    def test_deterministic_and_frozen(self):
+        a = DiurnalTrace(night_rate=100, peak_rate=300, duration=10, seed=5).generate()
+        b = DiurnalTrace(night_rate=100, peak_rate=300, duration=10, seed=5).generate()
+        np.testing.assert_array_equal(a.arrival_times, b.arrival_times)
+        gen = DiurnalTrace(night_rate=100, peak_rate=300)
+        with pytest.raises(Exception):
+            gen.seed = 9  # frozen: no stale-cache class of bugs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTrace(night_rate=0, peak_rate=100)
+        with pytest.raises(ValueError):
+            DiurnalTrace(night_rate=200, peak_rate=100)
+        with pytest.raises(ValueError):
+            DiurnalTrace(night_rate=100, peak_rate=200, period=0)
+
+
+class TestSpikeTrace:
+    def test_spike_window_rate(self):
+        trace = SpikeTrace(
+            base_rate=200, spike_rate=2000, spike_start=4.0, spike_duration=2.0,
+            duration=10.0, seed=1,
+        ).generate()
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+        before = trace.rate_in_window(0.0, 4.0)
+        during = trace.rate_in_window(4.0, 6.0)
+        after = trace.rate_in_window(6.0, 10.0)
+        assert during == pytest.approx(2000, rel=0.15)
+        assert before == pytest.approx(200, rel=0.35)
+        assert after == pytest.approx(200, rel=0.35)
+
+    def test_rate_at(self):
+        gen = SpikeTrace(
+            base_rate=100, spike_rate=900, spike_start=5.0, spike_duration=1.0,
+            duration=10.0,
+        )
+        assert gen.rate_at(4.9) == 100.0
+        assert gen.rate_at(5.0) == 900.0
+        assert gen.rate_at(5.999) == 900.0
+        assert gen.rate_at(6.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikeTrace(base_rate=100, spike_rate=50, spike_start=1.0, spike_duration=1.0)
+        with pytest.raises(ValueError):
+            SpikeTrace(base_rate=100, spike_rate=200, spike_start=99.0,
+                       spike_duration=1.0, duration=10.0)
+
+    def test_no_spike_degenerates_to_base(self):
+        gen = SpikeTrace(
+            base_rate=300, spike_rate=300, spike_start=2.0, spike_duration=1.0,
+            duration=10.0, seed=2,
+        )
+        trace = gen.generate()
+        assert trace.average_rate == pytest.approx(300, rel=0.15)
+
+
+class TestMergeTraces:
+    def test_rates_add(self):
+        a = PoissonTrace(200, duration=10, seed=1).generate()
+        b = PoissonTrace(300, duration=10, seed=2).generate()
+        merged = merge_traces(a, b)
+        assert len(merged) == len(a) + len(b)
+        assert merged.duration == 10
+        assert np.all(np.diff(merged.arrival_times) >= 0)
+        assert merged.average_rate == pytest.approx(500, rel=0.15)
+
+    def test_duration_and_description(self):
+        a = PoissonTrace(100, duration=5, seed=1).generate()
+        b = PoissonTrace(100, duration=8, seed=2).generate()
+        assert merge_traces(a, b).duration == 8
+        assert merge_traces(a, b, duration=12.0).duration == 12.0
+        assert " + " in merge_traces(a, b).description
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces()

@@ -1,0 +1,66 @@
+"""End-to-end smoke tests for the example scripts.
+
+Examples are the repo's living documentation and rot silently when APIs
+move; each test runs a script exactly the way the docs say to
+(``python examples/<name>.py`` with ``src`` on the path) and asserts a
+clean exit plus the landmark output each scenario promises.  The heavier
+examples (``adaptive_serving``, ``llm_case_study``, ``hardware_latency_tour``)
+are exercised by the figure benchmarks already; these three cover the
+quickstart path and the two serving-cluster tours.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = ROOT / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=str(ROOT),
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    return result.stdout
+
+
+def test_quickstart_runs_end_to_end():
+    # The slowest of the three (~6 s warm, a few minutes if the pretrain
+    # cache is cold); the generous timeout covers cold CI runners.
+    out = run_example("quickstart.py", timeout=600.0)
+    assert "accuracy vs precision" in out
+    assert "full precision" in out and "uniform INT8" in out
+    assert "average weight bits" in out
+
+
+def test_cluster_serving_runs_end_to_end():
+    out = run_example("cluster_serving.py")
+    assert "Multi-server dispatch" in out
+    assert "Deadline attainment" in out
+    assert "ratio policy" in out
+
+
+def test_autoscaling_cluster_runs_end_to_end():
+    out = run_example("autoscaling_cluster.py")
+    assert "Heterogeneous placement" in out
+    assert "Elastic autoscaling" in out
+    assert "Per-server adaptive ratios" in out
+    # The demo's promise: scale-up and scale-down both happened.
+    assert "add server" in out and "remove server" in out

@@ -8,7 +8,12 @@ import pytest
 from repro.core.controller import AdaptiveRatioController, build_profile_from_latency_fn
 from repro.data.traces import FluctuatingTrace, PoissonTrace, RequestTrace
 from repro.serving.adaptation import AdaptiveServingSimulator
-from repro.serving.metrics import latency_percentiles, summarize_latencies
+from repro.serving.metrics import (
+    attainment_within,
+    latency_percentiles,
+    slo_attainment,
+    summarize_latencies,
+)
 from repro.serving.simulator import BatchingConfig, ServiceTimeModel, ServingSimulator
 
 
@@ -211,6 +216,48 @@ class TestMetricsRegressions:
     def test_integer_labels_unchanged(self):
         p = latency_percentiles([0.1, 0.2], percentiles=(50, 90.0))
         assert set(p) == {"p50", "p90"}
+
+    def test_empty_percentile_list(self):
+        """No requested percentiles -> empty dict, for empty or non-empty
+        samples alike (never a KeyError or a default sneaking in)."""
+        assert latency_percentiles([0.1, 0.2], percentiles=()) == {}
+        assert latency_percentiles([], percentiles=()) == {}
+
+
+class TestSloAttainmentEdgeCases:
+    def test_all_dropped_requests_attain_zero(self):
+        """Every deadline-carrying request dropped (nan finish) -> 0.0, not
+        nan: the population exists, it just all missed."""
+        finishes = [float("nan")] * 4
+        deadlines = [0.1, 0.2, 0.3, 0.4]
+        assert slo_attainment(finishes, deadlines) == 0.0
+
+    def test_mixed_none_and_nan_deadlines_excluded(self):
+        """``None`` and ``nan`` deadlines both mean "no SLO" and leave the
+        population; only real deadlines are scored."""
+        finishes = [1.0, 1.0, 1.0, float("nan")]
+        deadlines = [2.0, None, float("nan"), 0.5]
+        # Population: entries 0 (met) and 3 (dropped with a deadline: miss).
+        assert slo_attainment(finishes, deadlines) == pytest.approx(0.5)
+
+    def test_no_deadlines_at_all_is_nan(self):
+        assert np.isnan(slo_attainment([1.0, 2.0], [None, float("nan")]))
+        assert np.isnan(slo_attainment([], []))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            slo_attainment([1.0], [0.5, 0.6])
+
+    def test_boundary_finish_counts_as_met(self):
+        assert slo_attainment([1.0], [1.0]) == 1.0
+
+    def test_attainment_within_latency_slo(self):
+        """The shared-budget twin: nan latencies (drops) are misses, the
+        boundary counts as met, empty samples are nan."""
+        assert attainment_within([0.1, 0.5, 0.9, float("nan")], 0.5) == pytest.approx(0.5)
+        assert attainment_within([0.2], 0.2) == 1.0
+        assert np.isnan(attainment_within([], 0.5))
+        assert attainment_within([float("nan")] * 3, 0.5) == 0.0
 
 
 class TestExecutedRatioReporting:
