@@ -33,6 +33,14 @@ head-of-line batches to idle slow servers, stretching the makespan.  The
 workload is a deterministic simulation, so the gate is exact, not a timing
 threshold.
 
+A ``fault_tolerance`` section exercises the PR 5 resilience subsystem: a
+three-GPU cluster with per-request deadlines loses one server mid-run.
+Without migration the crashed server's in-flight and pinned batches are
+lost work (drops = deadline misses) and the run falls below a 99%
+deadline-attainment SLO; with preemption & migration every victim is
+requeued, re-placed and served — 100% conservation, SLO met.  Also exact:
+the schedules are deterministic.
+
 Run it directly (finishes well under 60 s with a warm pretrain cache)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
@@ -65,8 +73,10 @@ from repro.hardware.npu import NpuConfig
 from repro.serving import (
     BatchingConfig,
     ClusterEngine,
+    FaultSchedule,
     ModeledExecutor,
     Request,
+    RequeueAtHeadMigration,
     RoundRobinRatioPolicy,
     RuntimeExecutor,
     ServiceTimeModel,
@@ -92,6 +102,11 @@ CLUSTER_DURATION = 2.0
 HETERO_RATE = 3000          # req/s: ~90% of the mixed cluster's capacity
 HETERO_DURATION = 2.0
 HETERO_PLACERS = ("free_clock", "least_work", "weighted")
+FAULT_RATE = 3000           # req/s over the 3-GPU fault-tolerance cluster
+FAULT_DURATION = 6.0
+FAULT_CRASH_AT, FAULT_RECOVER_AT = 2.0, 4.0
+FAULT_DEADLINE = 0.8        # relative per-request deadline (seconds)
+FAULT_SLO = 0.99            # deadline-attainment target
 
 
 def build_runtime(name: str) -> tuple:
@@ -312,6 +327,57 @@ def bench_heterogeneous_placement() -> dict:
     }
 
 
+def bench_fault_tolerance() -> dict:
+    """Crash survival on a deadline-SLO cluster (PR 5 resilience subsystem).
+
+    Three modeled A6000 ViT-Base servers serve a Poisson trace whose every
+    request carries a relative deadline; server 0 crashes mid-run and later
+    recovers.  The non-migrating run loses the crashed server's unfinished
+    batches (dropped requests = deadline misses) and falls below the
+    deadline-attainment SLO; with a requeue-at-head migration policy the
+    victims restart on the surviving servers (migration latency charged
+    explicitly) and the SLO holds with zero lost requests.
+    """
+    from repro.data.traces import PoissonTrace
+
+    trace = PoissonTrace(FAULT_RATE, duration=FAULT_DURATION, seed=5).generate()
+    requests = requests_from_trace(trace, model="m", deadlines=[FAULT_DEADLINE])
+
+    def run(migration):
+        cluster = ClusterEngine(
+            [gpu_server(f"g{i}", "vit_base", gpu="a6000") for i in range(3)],
+            BatchingConfig(max_batch=64),
+            fault_schedule=FaultSchedule.single_crash(
+                0, at=FAULT_CRASH_AT, recover_at=FAULT_RECOVER_AT
+            ),
+            migration=migration,
+            window=0.25,
+        )
+        cluster.register("m", mode="int8")
+        outcome = cluster.run(requests=requests)
+        return {
+            "deadline_attainment": round(outcome.deadline_attainment(), 5),
+            "slo_met": bool(outcome.deadline_attainment() >= FAULT_SLO),
+            "served": int(outcome.latencies.size),
+            "lost": int(outcome.result.dropped),
+            "migrated": int(outcome.migrated),
+            "p99_ms": round(outcome.p99_latency * 1e3, 2),
+        }
+
+    return {
+        "model": "vit_base",
+        "mode": "int8",
+        "rate": FAULT_RATE,
+        "requests": len(requests),
+        "deadline_s": FAULT_DEADLINE,
+        "slo_attainment_target": FAULT_SLO,
+        "crash_at_s": FAULT_CRASH_AT,
+        "recover_at_s": FAULT_RECOVER_AT,
+        "no_migration": run(None),
+        "migration": run(RequeueAtHeadMigration(delay=0.01)),
+    }
+
+
 def bench_model(name: str, reps: int = 20) -> dict:
     runtime, dataset = build_runtime(name)
     x = Tensor(dataset.train_images[:BATCH])
@@ -339,6 +405,14 @@ def bench_model(name: str, reps: int = 20) -> dict:
     return result
 
 
+SUMMARY_SECTIONS = (
+    "meta",
+    "cluster_scaling",
+    "heterogeneous_placement",
+    "fault_tolerance",
+)
+
+
 def render(results: dict) -> str:
     lines = [
         "Prepared-kernel cache -- repeated quantized inference "
@@ -347,7 +421,7 @@ def render(results: dict) -> str:
         "-" * 62,
     ]
     for name, result in results.items():
-        if name in ("meta", "cluster_scaling", "heterogeneous_placement"):
+        if name in SUMMARY_SECTIONS:
             continue
         for scope in ("quantized", "end_to_end"):
             row = result[scope]
@@ -361,7 +435,7 @@ def render(results: dict) -> str:
         "round-robin heterogeneous ratios"
     )
     for name, result in results.items():
-        if name in ("meta", "cluster_scaling", "heterogeneous_placement"):
+        if name in SUMMARY_SECTIONS:
             continue
         row = result["serving"]
         lines.append(
@@ -402,6 +476,22 @@ def render(results: dict) -> str:
             f"least-work {hetero['least_work_speedup_vs_free_clock']:.3f}x "
             "vs argmin-free-clock"
         )
+    fault = results.get("fault_tolerance")
+    if fault:
+        lines.append("")
+        lines.append(
+            f"Fault tolerance -- 3x GPU, server 0 crashes at "
+            f"t={fault['crash_at_s']:g}s; {fault['deadline_s']:g}s deadlines, "
+            f"SLO >= {fault['slo_attainment_target']:.0%} attainment"
+        )
+        for name in ("no_migration", "migration"):
+            row = fault[name]
+            lines.append(
+                f"{name:>12} | attainment {row['deadline_attainment']:.4f} "
+                f"({'met' if row['slo_met'] else 'MISSED'}) | "
+                f"lost {row['lost']} | migrated {row['migrated']} | "
+                f"p99 {row['p99_ms']:.1f} ms"
+            )
     return "\n".join(lines)
 
 
@@ -410,6 +500,7 @@ def main() -> dict:
     results = {name: bench_model(name) for name in MODELS}
     results["cluster_scaling"] = bench_cluster_scaling()
     results["heterogeneous_placement"] = bench_heterogeneous_placement()
+    results["fault_tolerance"] = bench_fault_tolerance()
     results["meta"] = {
         "benchmark": "prepared_kernels",
         "models": list(MODELS),

@@ -30,6 +30,13 @@ fast GPU, two slow NPUs) the speed-aware placers (least-outstanding-work,
 weighted-by-speed) must achieve strictly higher makespan throughput — and
 lower p99 — than the seed argmin-free-clock dispatch.  Also deterministic:
 the comparison is between simulated schedules, not wall clocks.
+
+PR 5 adds the fault-tolerance gate: a 3-GPU deadline-SLO cluster loses one
+server mid-run.  Without migration the crashed server's unfinished batches
+are lost (drops = deadline misses) and the run must fall below the 99%
+deadline-attainment SLO; with preemption & migration every victim re-serves
+(zero lost requests, full conservation) and the SLO must hold.  Exact, the
+schedules are deterministic.
 """
 
 from __future__ import annotations
@@ -118,8 +125,25 @@ def test_prepared_kernel_speedup(benchmark, results_writer):
     assert hetero["weighted_speedup_vs_free_clock"] > 1.0
     assert hetero["least_work_speedup_vs_free_clock"] > 1.0
 
+    # Fault tolerance: a mid-run server crash must cost the SLO without
+    # migration and be fully absorbed with it (the PR 5 resilience gate).
+    fault = results["fault_tolerance"]
+    admitted = fault["requests"]
+    lost_run, saved_run = fault["no_migration"], fault["migration"]
+    assert lost_run["deadline_attainment"] < fault["slo_attainment_target"]
+    assert not lost_run["slo_met"]
+    assert lost_run["lost"] > 0
+    assert saved_run["deadline_attainment"] >= fault["slo_attainment_target"]
+    assert saved_run["slo_met"]
+    # Conservation: nothing lost, nothing served twice, every victim moved.
+    assert saved_run["lost"] == 0
+    assert saved_run["served"] == admitted
+    assert lost_run["served"] + lost_run["lost"] == admitted
+    assert saved_run["migrated"] == lost_run["lost"] > 0
+
     # The JSON artifact tracks the perf trajectory from this PR onward.
     stored = json.loads(perf_smoke.RESULTS_PATH.read_text())
     assert stored["meta"]["benchmark"] == "prepared_kernels"
     assert "heterogeneous_placement" in stored
+    assert "fault_tolerance" in stored
     results_writer("prepared_kernels", perf_smoke.render(results))

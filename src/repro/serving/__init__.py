@@ -28,6 +28,22 @@ The package is organised around :mod:`repro.serving.engine`:
   :class:`~repro.core.controller.AdaptiveRatioController` adapted through
   :class:`~repro.serving.policies.AdaptiveRatioPolicy`.
 
+* **Resilience** (:mod:`repro.serving.resilience`): a fault-injection plane
+  (:class:`~repro.serving.resilience.FaultSchedule` of crash / slowdown /
+  recover :class:`~repro.serving.resilience.FaultEvent`\\ s applied at
+  window boundaries, per-server health in :class:`~repro.serving.cluster.
+  ServerSpec`, slowdowns through :class:`~repro.serving.resilience.
+  DegradableExecutor`), request **preemption & migration** (
+  :meth:`~repro.serving.engine.ServingEngine.preempt_server` rewinds a
+  failed server's unfinished batches; a :class:`~repro.serving.resilience.
+  MigrationPolicy` — requeue-at-head / redistribute-by-placer /
+  drop-if-past-deadline — requeues the victims through the scheduler with
+  explicit migration latency, counted in :attr:`~repro.serving.engine.
+  Response.migrations`), and **predictive placement**
+  (:class:`~repro.serving.placement.PredictivePlacer` forecasting per-server
+  capacity and congestion from telemetry windows instead of instantaneous
+  free clocks).
+
 * **Cluster control plane** (:mod:`repro.serving.placement`,
   :mod:`repro.serving.telemetry`, :mod:`repro.serving.cluster`): pluggable
   server **placement** (free-clock / least-outstanding-work /
@@ -80,7 +96,19 @@ from repro.serving.placement import (
     ModelAffinityPlacer,
     Placer,
     PlacementContext,
+    PredictivePlacer,
     WeightedSpeedPlacer,
+)
+from repro.serving.resilience import (
+    DegradableExecutor,
+    DropExpiredMigration,
+    FaultEvent,
+    FaultSchedule,
+    Migrant,
+    MigrationPolicy,
+    Preemption,
+    RedistributeMigration,
+    RequeueAtHeadMigration,
 )
 from repro.serving.policies import (
     AdaptiveRatioPolicy,
@@ -114,6 +142,7 @@ from repro.serving.metrics import (
     latency_percentiles,
     slo_attainment,
     summarize_latencies,
+    summarize_migrations,
 )
 from repro.serving.adaptation import AdaptiveServingSimulator, AdaptiveServingResult
 
@@ -129,25 +158,35 @@ __all__ = [
     "ClusterEngine",
     "ClusterResult",
     "ClusterWindowStats",
+    "DegradableExecutor",
+    "DropExpiredMigration",
     "EdfScheduler",
     "EngineResult",
     "Executor",
+    "FaultEvent",
+    "FaultSchedule",
     "FifoScheduler",
     "FixedRatioPolicy",
     "FreeClockPlacer",
     "LeastOutstandingWorkPlacer",
+    "Migrant",
+    "MigrationPolicy",
     "ModelAffinityPlacer",
     "ModeledExecutor",
     "PerServerAdaptiveRatioPolicy",
     "Placer",
     "PlacementContext",
     "PolicyContext",
+    "Preemption",
+    "PredictivePlacer",
     "PriorityScheduler",
     "QueueDepthAutoscaler",
     "QueueDepthRatioPolicy",
     "RatioPolicy",
     "RatioSchedulePolicy",
+    "RedistributeMigration",
     "Request",
+    "RequeueAtHeadMigration",
     "Response",
     "RoundRobinRatioPolicy",
     "RuntimeExecutor",
@@ -170,4 +209,5 @@ __all__ = [
     "requests_from_trace",
     "slo_attainment",
     "summarize_latencies",
+    "summarize_migrations",
 ]

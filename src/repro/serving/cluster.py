@@ -53,7 +53,15 @@ from repro.serving.placement import (
     LeastOutstandingWorkPlacer,
     ModelAffinityPlacer,
     Placer,
+    PredictivePlacer,
+    ServiceEstimator,
     WeightedSpeedPlacer,
+)
+from repro.serving.resilience import (
+    DegradableExecutor,
+    FaultEvent,
+    FaultSchedule,
+    MigrationPolicy,
 )
 from repro.serving.schedulers import Scheduler
 from repro.serving.simulator import ServiceTimeModel
@@ -74,6 +82,13 @@ class ServerSpec:
     kernels).  ``speed`` is the server's serving rate in requests/second at
     the reference batch — only the *ratios* between specs matter, and the
     speed-aware placers consume them verbatim.
+
+    ``health`` / ``slow_factor`` are run-time state maintained by the fault
+    plane (:mod:`repro.serving.resilience`): ``"healthy"`` serves at nominal
+    speed, ``"degraded"`` serves with service times inflated by
+    ``slow_factor``, and ``"failed"`` serves nothing (the control plane
+    keeps it out of the active set until it recovers).  A
+    :class:`ClusterEngine` given a fault schedule resets both per run.
     """
 
     name: str
@@ -81,12 +96,32 @@ class ServerSpec:
     service_model: Optional[ServiceTimeModel] = None
     executor: Optional[Executor] = None
     device: str = ""
+    health: str = "healthy"
+    slow_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.speed <= 0:
             raise ValueError("speed must be positive (requests/second)")
         if self.service_model is None and self.executor is None:
             raise ValueError("a ServerSpec needs a service_model or an executor")
+
+    @property
+    def available(self) -> bool:
+        """Whether the server may hold a place in the active set."""
+        return self.health != "failed"
+
+    def fail(self) -> None:
+        self.health = "failed"
+
+    def degrade(self, factor: float) -> None:
+        if factor <= 1.0:
+            raise ValueError("a slowdown needs factor > 1")
+        self.health = "degraded"
+        self.slow_factor = float(factor)
+
+    def recover(self) -> None:
+        self.health = "healthy"
+        self.slow_factor = 1.0
 
     def build_executor(self) -> Executor:
         """The executor serving this server's batches."""
@@ -286,13 +321,28 @@ class SloLatencyAutoscaler:
 # ----------------------------------------------------------------------
 @dataclass
 class ClusterResult:
-    """Outcome of one cluster run: engine result + telemetry + scale events."""
+    """Outcome of one cluster run: engine result + telemetry + events.
+
+    ``scale_events`` are the run's elasticity decisions, ``fault_events``
+    the fault injections the control plane applied (empty without a fault
+    schedule).
+    """
 
     result: EngineResult
     telemetry: TelemetryBus
     scale_events: List[ScaleEvent]
     specs: List[ServerSpec]
     initial_active: int = 0
+    fault_events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def migrated(self) -> int:
+        """Requests moved off failed/deactivated servers and re-served."""
+        return self.result.migrated
+
+    def deadline_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that met their deadline."""
+        return self.result.deadline_attainment()
 
     @property
     def latencies(self) -> np.ndarray:
@@ -337,24 +387,37 @@ class ClusterResult:
         ]
 
 
-_PLACERS = ("free_clock", "least_work", "weighted")
+_PLACERS = ("free_clock", "least_work", "weighted", "predictive")
 
 
 class ClusterEngine:
-    """Heterogeneous serving cluster with telemetry and elastic autoscaling.
+    """Heterogeneous serving cluster with telemetry, autoscaling and faults.
 
     ``specs`` define the servers (order = server ids; put fast servers
     first so tie-breaks favour them).  ``placer`` is a
     :class:`~repro.serving.placement.Placer` instance or one of
-    ``"free_clock"``, ``"least_work"``, ``"weighted"`` (speeds taken from
-    the specs); ``None`` keeps the engine's inlined seed dispatch.
+    ``"free_clock"``, ``"least_work"``, ``"weighted"``, ``"predictive"``
+    (speeds *and* batch-size-aware service estimators taken from the
+    specs); ``None`` keeps the engine's inlined seed dispatch.
 
     With an ``autoscaler`` the run starts at ``initial_servers`` active
     (default ``min_servers``) and re-evaluates the size at every telemetry
     window boundary; newly activated servers become available
     ``startup_delay`` seconds after the decision (provisioning lag).
-    Scale-up activates the fastest parked server, scale-down parks the
-    slowest active one, and every decision lands in the telemetry timeline.
+    Scale-up activates the fastest parked *healthy* server, scale-down
+    parks the slowest active one, and every decision lands in the telemetry
+    timeline.  Under a :class:`~repro.serving.placement.ModelAffinityPlacer`
+    scale-down additionally respects per-model floors: a model's last
+    active affine server is never parked (override the default floor of one
+    per affinity model with ``model_floors``).
+
+    A ``fault_schedule`` (:class:`~repro.serving.resilience.FaultSchedule`)
+    injects crashes, slowdowns and recoveries at window boundaries; a
+    ``migration`` policy (:class:`~repro.serving.resilience.
+    MigrationPolicy`) decides what happens to the work a crashed — or, with
+    migration configured, autoscaler-deactivated — server leaves behind.
+    Without a migration policy a crash drops its victims (lost work);
+    without a fault schedule this class behaves exactly as before.
     """
 
     def __init__(
@@ -368,6 +431,9 @@ class ClusterEngine:
         min_servers: int = 1,
         initial_servers: Optional[int] = None,
         startup_delay: float = 0.0,
+        fault_schedule: Optional[FaultSchedule] = None,
+        migration: Optional[MigrationPolicy] = None,
+        model_floors: Optional[Dict[str, int]] = None,
     ) -> None:
         if not specs:
             raise ValueError("a cluster needs at least one ServerSpec")
@@ -384,6 +450,28 @@ class ClusterEngine:
         self.startup_delay = float(startup_delay)
         if self.startup_delay < 0:
             raise ValueError("startup_delay must be >= 0")
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None:
+            for event in fault_schedule:
+                if event.server >= len(self.specs):
+                    raise ValueError(
+                        f"fault schedule names server {event.server}, but the "
+                        f"cluster has {len(self.specs)} servers"
+                    )
+        self.migration = migration
+        self.model_floors = dict(model_floors) if model_floors is not None else None
+        self._fault_cursor = 0
+        # Per-server degradable executor wrappers (slowdown faults): one
+        # list per server, one wrapper per registered model on it.  Only
+        # populated when a fault schedule exists, so the default path keeps
+        # the executors untouched.
+        self._degraders: Optional[List[List[DegradableExecutor]]] = (
+            [[] for _ in self.specs] if fault_schedule is not None else None
+        )
+        # Execution modes seen at register() time; batch_estimators resolves
+        # its scoring mode from them lazily (placers are built before
+        # registration happens).
+        self._registered_modes: set = set()
         self.telemetry = TelemetryBus(window=window, num_servers=len(self.specs))
         self.engine = ServingEngine(
             batching=batching,
@@ -392,10 +480,52 @@ class ClusterEngine:
             placer=self.resolve_placer(placer),
             telemetry=self.telemetry,
         )
+        if self.model_floors is not None:
+            # Floors only act through affinity scale-down; accepting them
+            # anywhere else would silently configure nothing.
+            if not isinstance(self.engine.placer, ModelAffinityPlacer):
+                raise ValueError(
+                    "model_floors requires a ModelAffinityPlacer (floors act "
+                    "on a model's affine server set)"
+                )
+            unknown = set(self.model_floors) - set(self.engine.placer.affinity)
+            if unknown:
+                raise ValueError(
+                    "model_floors names models absent from the affinity map: "
+                    f"{sorted(unknown)}"
+                )
 
     @property
     def speeds(self) -> List[float]:
         return [spec.speed for spec in self.specs]
+
+    def batch_estimators(
+        self, mode: Optional[str] = None
+    ) -> List[ServiceEstimator]:
+        """Per-server batch-size-aware service-time estimators.
+
+        One callable per spec mapping a batch size to estimated service
+        seconds via the spec's own latency backend (falling back to the
+        scalar speed for executor-only specs) — what the named speed-aware
+        placers score with instead of the reference-batch scalar.  With
+        ``mode=None`` the execution mode is resolved *lazily* per call: the
+        mode the cluster's endpoints registered when they all agree, else
+        the ``"int8"`` reference (the same convention the spec speeds are
+        measured at) — so a named placer resolved before :meth:`register`
+        still estimates the precision that actually runs.
+        """
+        return [
+            lambda batch, spec=spec: spec.estimate_batch_seconds(
+                batch, mode=mode if mode is not None else self._estimator_mode
+            )
+            for spec in self.specs
+        ]
+
+    @property
+    def _estimator_mode(self) -> str:
+        if len(self._registered_modes) == 1:
+            return next(iter(self._registered_modes))
+        return "int8"
 
     def resolve_placer(self, placer: Union[Placer, str, None]) -> Optional[Placer]:
         if placer is None:
@@ -404,9 +534,17 @@ class ClusterEngine:
             if placer == "free_clock":
                 return FreeClockPlacer()
             if placer == "least_work":
-                return LeastOutstandingWorkPlacer(self.speeds)
+                return LeastOutstandingWorkPlacer(
+                    self.speeds, estimators=self.batch_estimators()
+                )
             if placer == "weighted":
-                return WeightedSpeedPlacer(self.speeds)
+                return WeightedSpeedPlacer(
+                    self.speeds, estimators=self.batch_estimators()
+                )
+            if placer == "predictive":
+                return PredictivePlacer(
+                    self.speeds, estimators=self.batch_estimators()
+                )
             raise ValueError(
                 f"unknown placer {placer!r}; named placers: {', '.join(_PLACERS)}"
             )
@@ -436,11 +574,25 @@ class ClusterEngine:
         By default each server executes through its own spec's backend
         (heterogeneous service times); pass ``executors`` to override, e.g.
         with per-server :class:`~repro.serving.executors.RuntimeExecutor`
-        instances owning real prepared-kernel caches.
+        instances owning real prepared-kernel caches.  With a fault
+        schedule every executor is wrapped in a
+        :class:`~repro.serving.resilience.DegradableExecutor` so slowdown
+        faults can stretch the server's service times at run time.
         """
+        self._registered_modes.add(mode)
         if executors is None:
             executors = [spec.build_executor() for spec in self.specs]
-        self.engine.register(name, list(executors), policy=policy, mode=mode)
+        executors = list(executors)
+        if self._degraders is not None:
+            if len(executors) != len(self.specs):
+                raise ValueError(
+                    f"got {len(executors)} executors for {len(self.specs)} servers"
+                )
+            executors = [DegradableExecutor(executor) for executor in executors]
+            for server, wrapper in enumerate(executors):
+                wrapper.factor = self.specs[server].slow_factor
+                self._degraders[server].append(wrapper)
+        self.engine.register(name, executors, policy=policy, mode=mode)
 
     # ------------------------------------------------------------------
     # Driving a run
@@ -456,15 +608,23 @@ class ClusterEngine:
         """Serve a trace/request list under the control plane.
 
         Identical surface to :meth:`ServingEngine.run`; between batches the
-        control loop closes telemetry windows and applies autoscaler
-        decisions.  Without an autoscaler this is exactly an engine run
-        plus telemetry.
+        control loop closes telemetry windows, applies due fault injections
+        and applies autoscaler decisions.  Without an autoscaler and fault
+        schedule this is exactly an engine run plus telemetry.
         """
         if (trace is None) == (requests is None):
             raise ValueError("provide exactly one of trace or requests")
         self.telemetry.reset()
         if self.autoscaler is not None and hasattr(self.autoscaler, "reset"):
             self.autoscaler.reset()
+        self._fault_cursor = 0
+        if self.fault_schedule is not None:
+            # Deterministic repeat runs: faults re-play from a clean slate.
+            for spec in self.specs:
+                spec.recover()
+            for wrappers in self._degraders:
+                for wrapper in wrappers:
+                    wrapper.factor = 1.0
         self.engine.start(
             trace=trace,
             requests=requests,
@@ -474,22 +634,31 @@ class ClusterEngine:
         )
         if self.autoscaler is not None:
             self.engine.set_active_servers(range(self.initial_servers))
+        control = self.autoscaler is not None or self.fault_schedule is not None
         next_boundary = self.telemetry.window
         closed = 0
-        while True:
-            record = self.engine.step()
-            if record is None:
-                break
-            # Close every window boundary the clock has passed.  Batch start
-            # times are not strictly monotone across servers, so a boundary
-            # closes when *some* batch starts beyond it; stragglers still
-            # land in their own (already-closed) window's telemetry cell,
-            # only the scaling decision sees them late.
-            while self.autoscaler is not None and record.start >= next_boundary:
-                self._close_window(closed, next_boundary)
-                closed += 1
-                next_boundary = (closed + 1) * self.telemetry.window
-        result = self.engine.finish()
+        try:
+            while True:
+                record = self.engine.step()
+                if record is None:
+                    break
+                # Close every window boundary the clock has passed.  Batch
+                # start times are not strictly monotone across servers, so a
+                # boundary closes when *some* batch starts beyond it;
+                # stragglers still land in their own (already-closed)
+                # window's telemetry cell, only the scaling decision sees
+                # them late.
+                while control and record.start >= next_boundary:
+                    self._close_window(closed, next_boundary)
+                    closed += 1
+                    next_boundary = (closed + 1) * self.telemetry.window
+            result = self.engine.finish()
+        except BaseException:
+            # A mid-run failure (an unsurvivable crash fault, a rogue
+            # placer) must not leave the session open: abort so the same
+            # ClusterEngine can run() again — run() re-resets fault state.
+            self.engine.abort()
+            raise
         return ClusterResult(
             result=result,
             telemetry=self.telemetry,
@@ -500,9 +669,124 @@ class ClusterEngine:
                 if self.autoscaler is not None
                 else len(self.specs)
             ),
+            fault_events=list(self.telemetry.fault_events),
         )
 
     def _close_window(self, window: int, boundary: float) -> None:
+        """Apply due fault injections, then one autoscaling decision."""
+        if self.fault_schedule is not None:
+            events = self.fault_schedule.events
+            while (
+                self._fault_cursor < len(events)
+                and events[self._fault_cursor].time < boundary
+            ):
+                self._apply_fault(events[self._fault_cursor], boundary)
+                self._fault_cursor += 1
+        if self.autoscaler is not None:
+            self._autoscale(window, boundary)
+
+    def _apply_fault(self, event: FaultEvent, boundary: float) -> None:
+        """Apply one fault event (the autoscaler sees the post-fault world)."""
+        spec = self.specs[event.server]
+        active = self.engine.active_servers
+        if event.kind == "crash":
+            if event.server in active and len(active) == 1:
+                # Losing the sole active server is survivable when a
+                # healthy spare is parked: wake the fastest one (with the
+                # usual provisioning lag) before the crash lands, recorded
+                # as a scale event so the emergency is auditable.
+                spares = sorted(
+                    (
+                        s
+                        for s in range(len(self.specs))
+                        if s not in active
+                        and s != event.server
+                        and self.specs[s].available
+                    ),
+                    key=lambda s: (-self.specs[s].speed, s),
+                )
+                if not spares:
+                    raise RuntimeError(
+                        f"server {event.server} ({spec.name}) is the last "
+                        "active server and no healthy spare is parked; the "
+                        "cluster cannot survive losing it"
+                    )
+                replacement = spares[0]
+                active = sorted(active + [replacement])
+                self.engine.set_active_servers(
+                    active, available_from=boundary + self.startup_delay
+                )
+                self.telemetry.record_scale_event(
+                    ScaleEvent(
+                        time=boundary,
+                        action="add",
+                        server=replacement,
+                        active_after=len(active),
+                        reason=(
+                            f"emergency replacement for crashed server "
+                            f"{event.server}"
+                        ),
+                    )
+                )
+            # Preempt even a parked server: it may still be draining a batch
+            # a graceful deactivation let finish.
+            self.engine.preempt_server(
+                event.server, event.time, policy=self.migration, kill_running=True
+            )
+            if event.server in active:
+                self.engine.set_active_servers(
+                    [server for server in active if server != event.server]
+                )
+            spec.fail()
+        elif event.kind == "slowdown":
+            # A slowdown against a crashed server must not resurrect it
+            # (degrade() would flip health to "degraded" and the autoscaler
+            # would wake it); the event is recorded but changes nothing
+            # until the recovery fault lands.
+            if spec.health != "failed":
+                spec.degrade(event.factor)
+                for wrapper in self._degraders[event.server]:
+                    wrapper.factor = float(event.factor)
+        else:  # recover
+            was_failed = spec.health == "failed"
+            spec.recover()
+            for wrapper in self._degraders[event.server]:
+                wrapper.factor = 1.0
+            # Without an autoscaler nobody else would re-admit the server;
+            # with one, it simply becomes eligible for the next scale-up.
+            if was_failed and self.autoscaler is None and event.server not in active:
+                self.engine.set_active_servers(
+                    sorted(active + [event.server]), available_from=boundary
+                )
+        self.telemetry.record_fault_event(event)
+
+    def _floor_blocked(self, server: int, remaining: set) -> bool:
+        """Would parking ``server`` drop a model below its affinity floor?
+
+        Floors default to one active server per model named in a
+        :class:`~repro.serving.placement.ModelAffinityPlacer`'s map (so an
+        autoscaler can never scale a model's last server to zero);
+        ``model_floors`` overrides per model.
+        """
+        placer = self.engine.placer
+        if not isinstance(placer, ModelAffinityPlacer):
+            return False
+        floors = (
+            self.model_floors
+            if self.model_floors is not None
+            else {model: 1 for model in placer.affinity}
+        )
+        for model, allowed in placer.affinity.items():
+            floor = floors.get(model, 1)
+            if server in allowed:
+                left = sum(
+                    1 for other in remaining if other in allowed and other != server
+                )
+                if left < floor:
+                    return True
+        return False
+
+    def _autoscale(self, window: int, boundary: float) -> None:
         """Apply one autoscaling decision at a window boundary."""
         active = self.engine.active_servers
         stats = self.telemetry.cluster_window(window, active_servers=active)
@@ -525,8 +809,14 @@ class ClusterEngine:
             range(len(self.specs)), key=lambda s: (-self.specs[s].speed, s)
         )
         if target > len(active):
-            parked = [s for s in order if s not in active]
+            # Only healthy servers can be woken: a crashed one stays parked
+            # until its recovery fault flips it back.
+            parked = [
+                s for s in order if s not in active and self.specs[s].available
+            ]
             added = parked[: target - len(active)]
+            if not added:
+                return
             new_active = sorted(active + added)
             self.engine.set_active_servers(
                 new_active, available_from=boundary + self.startup_delay
@@ -543,10 +833,27 @@ class ClusterEngine:
                 )
         else:
             removable = [s for s in reversed(order) if s in active]
-            removed = removable[: len(active) - target]
+            removed: List[int] = []
+            remaining = set(active)
+            for server in removable:
+                if len(removed) == len(active) - target:
+                    break
+                if self._floor_blocked(server, remaining):
+                    continue
+                removed.append(server)
+                remaining.discard(server)
+            if not removed:
+                return
             new_active = sorted(s for s in active if s not in removed)
             self.engine.set_active_servers(new_active)
             for server in removed:
+                # With a migration policy, work already pinned to the parked
+                # server (dispatched but not started) restarts elsewhere
+                # instead of waiting out the drain.
+                if self.migration is not None:
+                    self.engine.preempt_server(
+                        server, boundary, policy=self.migration, kill_running=False
+                    )
                 self.telemetry.record_scale_event(
                     ScaleEvent(
                         time=boundary,

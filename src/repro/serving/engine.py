@@ -129,7 +129,12 @@ class Request:
 
 @dataclass
 class Response:
-    """Outcome of one request: timing, the batch it rode in, and its output."""
+    """Outcome of one request: timing, the batch it rode in, and its output.
+
+    ``migrations`` counts how many times the request was preempted off a
+    failing/deactivated server and requeued before this outcome (0 on the
+    default, fault-free paths); see :mod:`repro.serving.resilience`.
+    """
 
     request_id: int
     model: str
@@ -144,6 +149,7 @@ class Response:
     priority: int = 0
     deadline: Optional[float] = None
     server: int = 0
+    migrations: int = 0
 
     @property
     def latency(self) -> float:
@@ -221,7 +227,12 @@ class RatioPolicy(Protocol):
 
 @dataclass
 class BatchRecord:
-    """Per-batch accounting: what ran, when, where, at which ratio."""
+    """Per-batch accounting: what ran, when, where, at which ratio.
+
+    ``queue_depth`` is the number of arrived-and-waiting requests when the
+    batch formed (the value telemetry aggregates) — kept on the record so a
+    preempted batch can be *un*-recorded exactly.
+    """
 
     model: str
     start: float
@@ -230,6 +241,7 @@ class BatchRecord:
     ratio: float
     mode: str
     server: int = 0
+    queue_depth: int = 0
 
 
 @dataclass
@@ -257,6 +269,8 @@ class EngineResult:
     per admitted request with ``nan`` marking drops, aligned with
     ``request_models`` for per-model breakdowns.  ``server_busy_times`` has
     one accumulated busy time per server (their sum is ``busy_time``).
+    ``migrated`` counts successful request moves (preemption + requeue; see
+    :mod:`repro.serving.resilience`) — zero on the default fault-free paths.
     """
 
     latencies: np.ndarray
@@ -270,6 +284,7 @@ class EngineResult:
     _single_model: Optional[str] = None
     num_servers: int = 1
     server_busy_times: Optional[List[float]] = None
+    migrated: int = 0
 
     # ------------------------------------------------------------------
     # Batch-level views
@@ -446,6 +461,12 @@ class _Session:
             [None] * num_requests if record_responses else None
         )
         self.records: List[BatchRecord] = []
+        # One slot array per record (views, no copies): what preemption
+        # needs to rewind a batch exactly (see preempt_server).
+        self.record_slots: List[np.ndarray] = []
+        # Per-slot move counts and the run total (resilience accounting).
+        self.migrations: Dict[int, int] = {}
+        self.migrated = 0
         self.dropped = 0
         self.free_at: List[float] = [0.0] * num_servers
         self.busy: List[float] = [0.0] * num_servers
@@ -712,12 +733,7 @@ class ServingEngine:
         if session.responses is not None:
             session.responses.extend([None] * len(new))
         new_slots = np.arange(first_slot, first_slot + len(new), dtype=np.intp)
-        merged = np.concatenate([session.pend_arrivals[session.pos:], new_arrivals])
-        merged_slots = np.concatenate([session.pend_slots[session.pos:], new_slots])
-        order = np.argsort(merged, kind="stable")
-        session.pend_arrivals = merged[order]
-        session.pend_slots = merged_slots[order]
-        session.pos = 0
+        self._merge_pending(session, new_arrivals, new_slots)
 
     def step(self) -> Optional[BatchRecord]:
         """Execute the next batch; ``None`` when no admitted work remains."""
@@ -794,6 +810,198 @@ class ServingEngine:
                     )
         session.active = active
 
+    # ------------------------------------------------------------------
+    # Preemption & migration (resilience plane)
+    # ------------------------------------------------------------------
+    def preempt_server(
+        self,
+        server: int,
+        time: float,
+        policy=None,
+        kill_running: bool = True,
+    ):
+        """Rewind a server's unfinished batches and migrate their requests.
+
+        The fault/elasticity hook of :mod:`repro.serving.resilience`: called
+        when ``server`` crashes at ``time`` (``kill_running=True`` — the
+        running batch dies too, its partial work wasted) or is gracefully
+        deactivated (``kill_running=False`` — the running batch finishes,
+        only batches that have not *started* by ``time`` are rewound).
+
+        Every rewound batch is removed from the run's records, its requests'
+        latencies/responses un-written and its telemetry contribution
+        reversed (busy time up to the kill point stays billed: wasted work
+        is still work).  The affected requests are then handed to ``policy``
+        (a :class:`~repro.serving.resilience.MigrationPolicy`): requests it
+        requeues re-enter the pending queue — ordered and gated by the
+        policy's ready key, clamped to ``time`` so migration never serves
+        the past — and flow back through the configured scheduler and
+        placer; requests it rejects (or all of them when ``policy`` is
+        ``None``: lost work) are dropped.  Returns a
+        :class:`~repro.serving.resilience.Preemption` report.
+
+        This never touches other servers' state: a session with no
+        preempted work is left exactly as it was.
+        """
+        from repro.serving.resilience import Migrant, Preemption
+
+        s = self._require_session()
+        server = int(server)
+        time = float(time)
+        if not 0 <= server < self.num_servers:
+            raise ValueError(
+                f"server {server} out of range (num_servers={self.num_servers})"
+            )
+        victims: List[Tuple[BatchRecord, np.ndarray]] = []
+        kept_records: List[BatchRecord] = []
+        kept_slots: List[np.ndarray] = []
+        for record, slots in zip(s.records, s.record_slots):
+            if (
+                record.server == server
+                and record.finish > time
+                and (kill_running or record.start >= time)
+            ):
+                victims.append((record, slots))
+            else:
+                kept_records.append(record)
+                kept_slots.append(slots)
+        if not victims:
+            return Preemption(batches=0, migrated=0, dropped=0)
+        s.records = kept_records
+        s.record_slots = kept_slots
+
+        migrant_slots: List[int] = []
+        for record, slots in victims:
+            # Busy time up to the kill point stays billed (wasted work);
+            # service the server would have done after it is rewound.
+            s.busy[server] -= record.finish - max(record.start, time)
+            if self.telemetry is not None:
+                deadline_total, deadline_met = self._deadline_counts(
+                    s, slots, record.finish
+                )
+                self.telemetry.unrecord_batch(
+                    record,
+                    latencies=record.finish - s.slot_arrivals[slots],
+                    deadline_total=deadline_total,
+                    deadline_met=deadline_met,
+                    kill_time=time,
+                )
+            for slot in slots:
+                slot = int(slot)
+                s.latencies[slot] = 0.0
+                if s.responses is not None:
+                    s.responses[slot] = None
+                migrant_slots.append(slot)
+        # The server's clock rewinds to the preemption point (or the finish
+        # of a still-running batch it was allowed to drain).
+        s.free_at[server] = max(
+            [time]
+            + [record.finish for record in kept_records if record.server == server]
+        )
+
+        # The scheduled path's arrival heap may hold lazily-uncleaned
+        # entries from the victims' first pass through the queue; when a
+        # migrant re-enters ``queued_slots`` those stale entries would
+        # resurrect with the *original* arrival, defeating the migration
+        # ready gate (and expiring migrants against their pre-fault wait).
+        # Preemption is rare, so an explicit purge is cheap.
+        if s.arrival_heap:
+            preempted = set(migrant_slots)
+            s.arrival_heap = [
+                entry for entry in s.arrival_heap if entry[1] not in preempted
+            ]
+            heapq.heapify(s.arrival_heap)
+
+        migrants = [
+            Migrant(
+                slot=slot,
+                arrival=float(s.slot_arrivals[slot]),
+                deadline=(
+                    s.request_objs[slot].deadline
+                    if s.request_objs is not None
+                    else None
+                ),
+                request=(
+                    s.request_objs[slot] if s.request_objs is not None else None
+                ),
+                migrations=s.migrations.get(slot, 0),
+            )
+            for slot in migrant_slots
+        ]
+        if policy is None:
+            keys: List[Optional[float]] = [None] * len(migrants)
+        else:
+            keys = list(policy.plan(migrants, time))
+            if len(keys) != len(migrants):
+                raise ValueError(
+                    "migration policy returned "
+                    f"{len(keys)} keys for {len(migrants)} migrants"
+                )
+        requeue_keys: List[float] = []
+        requeue_slots: List[int] = []
+        drop_slots: List[int] = []
+        for migrant, key in zip(migrants, keys):
+            if key is None:
+                drop_slots.append(migrant.slot)
+            else:
+                # Migration can never serve the past: the requeued request
+                # becomes serviceable no earlier than the preemption time.
+                requeue_keys.append(max(float(key), time))
+                requeue_slots.append(migrant.slot)
+                s.migrations[migrant.slot] = s.migrations.get(migrant.slot, 0) + 1
+                s.migrated += 1
+        if drop_slots:
+            self._drop(s, np.asarray(drop_slots, dtype=np.intp), time)
+        if requeue_slots:
+            self._merge_pending(
+                s,
+                np.asarray(requeue_keys, dtype=np.float64),
+                np.asarray(requeue_slots, dtype=np.intp),
+            )
+        return Preemption(
+            batches=len(victims),
+            migrated=len(requeue_slots),
+            dropped=len(drop_slots),
+        )
+
+    @staticmethod
+    def _deadline_counts(
+        s: _Session, slots: np.ndarray, finish: float
+    ) -> Tuple[int, int]:
+        """(deadline-carrying, met-by-``finish``) counts for a batch's slots.
+
+        The one definition of the deadline arithmetic telemetry records —
+        and, on preemption, un-records: both must count identically or a
+        rewound batch would leave phantom attainment in its window.
+        """
+        total = met = 0
+        if s.request_objs is not None:
+            for slot in slots:
+                deadline = s.request_objs[int(slot)].deadline
+                if deadline is not None:
+                    total += 1
+                    if finish <= deadline:
+                        met += 1
+        return total, met
+
+    @staticmethod
+    def _merge_pending(s: _Session, keys: np.ndarray, slots: np.ndarray) -> None:
+        """Merge slots into the unserved pending queue, sorted by key.
+
+        The single place the 'pend arrays stay key-sorted, ``pos`` resets'
+        invariant lives: streaming :meth:`submit` merges fresh requests by
+        arrival time, and preemption merges migrants by their ready key —
+        both the FIFO ordering position and the earliest time the slot can
+        be admitted to a batch.  The stable sort keeps equal-key cohorts in
+        insertion order.
+        """
+        merged = np.concatenate([s.pend_arrivals[s.pos:], keys])
+        merged_slots = np.concatenate([s.pend_slots[s.pos:], slots])
+        order = np.argsort(merged, kind="stable")
+        s.pend_arrivals = merged[order]
+        s.pend_slots = merged_slots[order]
+        s.pos = 0
+
     def _select_server(
         self, s: _Session, time: float, model: str, pending: int, arrived: int
     ) -> int:
@@ -805,6 +1013,7 @@ class ServingEngine:
             model=model,
             pending=pending,
             batch_hint=max(1, min(arrived, self.batching.max_batch)),
+            telemetry=self.telemetry,
         )
         server = int(self.placer.place(context))
         if server not in s.active:
@@ -941,11 +1150,16 @@ class ServingEngine:
             start = max(
                 min(s.free_at[server] for server in s.active), head_time
             )
-            # Admit everything that has arrived by the batch start.
+            # Admit everything that has arrived by the batch start.  The
+            # pend key — the arrival time for fresh requests (bit-identical
+            # to the seed), the migration-ready key for requeued migrants —
+            # is what queue ordering ties break on and what ``drop_after``
+            # waiting is measured from, so a migrant's wait restarts at its
+            # migration exactly as it does on the FIFO path.
             end_index = bisect.bisect_right(s.pend_arrivals, start, lo=s.pos)
             for position in range(s.pos, end_index):
                 slot = int(s.pend_slots[position])
-                arrival = float(s.slot_arrivals[slot])
+                arrival = float(s.pend_arrivals[position])
                 heapq.heappush(
                     s.queue, (scheduler.key(request_objs[slot]), arrival, slot)
                 )
@@ -1082,18 +1296,16 @@ class ServingEngine:
         finish = start + service_time
         s.latencies[slots] = finish - s.slot_arrivals[slots]
         record = BatchRecord(
-            head_model, start, finish, batch_size, ratio, endpoint.mode, server
+            head_model, start, finish, batch_size, ratio, endpoint.mode, server,
+            queue_depth,
         )
         s.records.append(record)
+        # FIFO-path slots are views into pend_slots; store a copy so a
+        # superseded pending array (streaming submit, migration requeue) is
+        # not pinned alive for the whole session by its batch views.
+        s.record_slots.append(slots.copy() if slots.base is not None else slots)
         if self.telemetry is not None:
-            deadline_total = deadline_met = 0
-            if s.request_objs is not None:
-                for slot in slots:
-                    deadline = s.request_objs[int(slot)].deadline
-                    if deadline is not None:
-                        deadline_total += 1
-                        if finish <= deadline:
-                            deadline_met += 1
+            deadline_total, deadline_met = self._deadline_counts(s, slots, finish)
             self.telemetry.record_batch(
                 record,
                 queue_depth=queue_depth,
@@ -1170,6 +1382,7 @@ class ServingEngine:
             _single_model=single_model,
             num_servers=self.num_servers,
             server_busy_times=list(s.busy),
+            migrated=s.migrated,
         )
 
     def _response(
@@ -1209,4 +1422,5 @@ class ServingEngine:
             priority=priority,
             deadline=deadline,
             server=server,
+            migrations=s.migrations.get(slot, 0),
         )

@@ -80,6 +80,30 @@ def attainment_within(latencies: Sequence[float], slo_seconds: float) -> float:
     return np.count_nonzero(values <= float(slo_seconds)) / values.size
 
 
+def summarize_migrations(responses) -> Dict[str, float]:
+    """Migration accounting over a run's recorded responses.
+
+    ``responses`` is an iterable of :class:`~repro.serving.engine.Response`
+    objects (``None`` entries — unserved slots — are skipped).  Counts the
+    requests that were preempted off a failing/deactivated server at least
+    once (``migrated_requests``), the total number of moves (``moves``, >=
+    ``migrated_requests`` since a request can migrate repeatedly), and how
+    the migrants ended: re-served (``served_after_migration``) or dropped
+    after the move (``dropped_after_migration``).  All values are floats
+    for symmetry with the other summaries.
+    """
+    moved = [r for r in responses if r is not None and r.migrations > 0]
+    return {
+        "migrated_requests": float(len(moved)),
+        "moves": float(sum(r.migrations for r in moved)),
+        "max_moves": float(max((r.migrations for r in moved), default=0)),
+        "served_after_migration": float(
+            sum(1 for r in moved if not r.dropped)
+        ),
+        "dropped_after_migration": float(sum(1 for r in moved if r.dropped)),
+    }
+
+
 def slo_attainment(
     finish_times: Sequence[float], deadlines: Sequence[Optional[float]]
 ) -> float:

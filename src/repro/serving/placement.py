@@ -26,16 +26,44 @@ Four disciplines ship with the engine:
 * :class:`ModelAffinityPlacer` — partitioned / affinity placement: each model
   is restricted to a subset of servers (e.g. models pinned to the accelerators
   holding their weights), with any placer as the rule within the subset.
+* :class:`PredictivePlacer` — telemetry-driven placement: instead of trusting
+  nominal speeds, it forecasts each server's service capacity (EWMA over the
+  windowed served-per-busy-second rates the
+  :class:`~repro.serving.telemetry.TelemetryBus` aggregates) and its queue
+  pressure trend, then places by forecasted completion.  This is the placer
+  that notices a *degraded* server — a fault-plane slowdown leaves nominal
+  speeds stale, but the telemetry trend shows the true current rate.
 
 Per-server speeds are expressed in requests/second at a reference batch size
 (see :meth:`repro.serving.cluster.ServerSpec.speed`); only their *ratios*
-matter to the placers.
+matter to the placers.  The speed-aware placers optionally take per-server
+``estimators`` — callables mapping a batch size to estimated service seconds
+(e.g. :meth:`repro.serving.cluster.ServerSpec.estimate_batch_seconds`) — in
+which case scoring uses real batch-size-aware service-time estimates instead
+of the scalar reference-batch speed (batching amortizes per-batch overhead,
+so ``latency(b) / b`` falls with ``b``; a scalar speed misprices small and
+large batches alike).  :meth:`repro.serving.cluster.ClusterEngine.
+resolve_placer` wires spec-derived estimators into the named placers
+automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.telemetry import TelemetryBus
 
 
 @dataclass
@@ -50,7 +78,10 @@ class PlacementContext:
     waiting, and ``batch_hint`` estimates how many will ride in the batch
     (pending requests arrived by ``time``, capped at ``max_batch``) — an
     estimate only, since the batch is formed *after* the server is chosen
-    and later arrivals may still join it.
+    and later arrivals may still join it.  ``telemetry`` is the engine's
+    :class:`~repro.serving.telemetry.TelemetryBus` when one is attached
+    (``None`` otherwise) — windowed per-server history for placers that
+    forecast rather than react (:class:`PredictivePlacer`).
     """
 
     time: float
@@ -59,6 +90,7 @@ class PlacementContext:
     model: str = ""
     pending: int = 0
     batch_hint: int = 1
+    telemetry: Optional["TelemetryBus"] = None
 
 
 @runtime_checkable
@@ -89,52 +121,190 @@ def _validated_speeds(speeds: Sequence[float]) -> List[float]:
     return values
 
 
-class LeastOutstandingWorkPlacer:
+#: Per-server service-time estimator: batch size -> estimated seconds.
+ServiceEstimator = Callable[[int], float]
+
+
+class _SpeedScoredPlacer:
+    """Shared scoring base: speeds plus optional batch-size-aware estimates."""
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        estimators: Optional[Sequence[ServiceEstimator]] = None,
+    ) -> None:
+        self.speeds = _validated_speeds(speeds)
+        if estimators is not None and len(estimators) != len(self.speeds):
+            raise ValueError(
+                f"got {len(estimators)} estimators for {len(self.speeds)} servers"
+            )
+        self.estimators = list(estimators) if estimators is not None else None
+
+    def service_seconds(self, server: int, batch_size: int) -> float:
+        """Estimated service seconds of a ``batch_size`` batch on ``server``.
+
+        With estimators this is the real batch-size-aware estimate (per-batch
+        overhead amortizes, so seconds-per-request falls as batches grow);
+        without, the scalar reference-batch speed approximation.
+        """
+        if self.estimators is not None:
+            return float(self.estimators[server](int(batch_size)))
+        return batch_size / self.speeds[server]
+
+
+class LeastOutstandingWorkPlacer(_SpeedScoredPlacer):
     """Minimize outstanding work: backlog seconds + candidate batch seconds.
 
-    ``score(s) = max(free_at[s] - now, 0) + batch_hint / speed[s]``: the
-    total service-seconds the server would owe after accepting the batch.
-    Unlike the free-clock rule, an idle slow server only wins when its
-    service time for the batch undercuts a fast server's backlog plus
+    ``score(s) = max(free_at[s] - now, 0) + service_seconds(s, batch_hint)``:
+    the total service-seconds the server would owe after accepting the
+    batch.  Unlike the free-clock rule, an idle slow server only wins when
+    its service time for the batch undercuts a fast server's backlog plus
     service — so slow servers absorb overflow instead of stealing
     head-of-line work.  Ties prefer the faster server, then the lower id.
+    Pass per-server ``estimators`` for batch-size-aware service estimates
+    instead of the scalar-speed approximation ``batch_hint / speed``.
     """
-
-    def __init__(self, speeds: Sequence[float]) -> None:
-        self.speeds = _validated_speeds(speeds)
 
     def place(self, context: PlacementContext) -> int:
         now = context.time
         hint = max(context.batch_hint, 1)
 
         def score(server: int) -> Tuple[float, float, int]:
-            speed = self.speeds[server]
             backlog = max(context.free_at[server] - now, 0.0)
-            return (backlog + hint / speed, -speed, server)
+            return (
+                backlog + self.service_seconds(server, hint),
+                -self.speeds[server],
+                server,
+            )
 
         return min(context.active, key=score)
 
 
-class WeightedSpeedPlacer:
+class WeightedSpeedPlacer(_SpeedScoredPlacer):
     """Earliest estimated completion, speed-weighted (the ECT rule).
 
-    ``score(s) = max(free_at[s], now) + batch_hint / speed[s]``: when the
-    batch would *finish* if placed on ``s``.  Identical to least-work when
-    every server is backlogged; differs for idle servers, whose idle-since
-    gap costs nothing here (service cannot start before ``now`` anyway).
-    Ties prefer the faster server, then the lower id.
+    ``score(s) = max(free_at[s], now) + service_seconds(s, batch_hint)``:
+    when the batch would *finish* if placed on ``s``.  Identical to
+    least-work when every server is backlogged; differs for idle servers,
+    whose idle-since gap costs nothing here (service cannot start before
+    ``now`` anyway).  Ties prefer the faster server, then the lower id.
+    Pass per-server ``estimators`` for batch-size-aware service estimates
+    instead of the scalar-speed approximation ``batch_hint / speed``.
     """
-
-    def __init__(self, speeds: Sequence[float]) -> None:
-        self.speeds = _validated_speeds(speeds)
 
     def place(self, context: PlacementContext) -> int:
         now = context.time
         hint = max(context.batch_hint, 1)
 
         def score(server: int) -> Tuple[float, float, int]:
-            speed = self.speeds[server]
-            return (max(context.free_at[server], now) + hint / speed, -speed, server)
+            return (
+                max(context.free_at[server], now)
+                + self.service_seconds(server, hint),
+                -self.speeds[server],
+                server,
+            )
+
+        return min(context.active, key=score)
+
+
+class PredictivePlacer(_SpeedScoredPlacer):
+    """Forecast-driven placement from windowed telemetry trends.
+
+    The instantaneous placers react to free clocks and *nominal* speeds; on
+    a cluster whose servers degrade at run time (fault-plane slowdowns,
+    thermal throttling) the nominal speed is stale and the free clock only
+    shows damage already done.  This placer reads the engine's
+    :class:`~repro.serving.telemetry.TelemetryBus` through the placement
+    context and keeps, per server, an EWMA forecast over completed windows
+    of
+
+    * the **measured service rate** (served requests per busy second — the
+      server's demonstrated capacity, robust to idleness), and
+    * the **queue-depth trend** observed at that server's batch formations
+      (a congestion signal that rises while a server falls behind).
+
+    Placement minimizes forecasted completion::
+
+        score(s) = max(free_at[s], now)
+                 + service_seconds(s, hint) * (nominal_rate[s] / forecast_rate[s])
+                 + depth_weight * depth_trend[s] / forecast_rate[s]
+
+    i.e. the batch-size-aware estimate is *re-scaled by the measured
+    degradation* and penalized by forecasted congestion.  Servers without
+    telemetry history (cold start, no bus attached) fall back to nominal
+    speeds — the placer then behaves exactly like
+    :class:`WeightedSpeedPlacer`.
+
+    ``alpha`` is the EWMA weight of the newest window.  Forecasts fold in
+    incrementally (each window is visited once per server), so per-batch
+    placement stays O(active servers).
+    """
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        estimators: Optional[Sequence[ServiceEstimator]] = None,
+        alpha: float = 0.5,
+        depth_weight: float = 0.1,
+    ) -> None:
+        super().__init__(speeds, estimators)
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if depth_weight < 0:
+            raise ValueError("depth_weight must be >= 0")
+        self.alpha = float(alpha)
+        self.depth_weight = float(depth_weight)
+        # server -> [last folded window, rate EWMA (nan = none), depth EWMA]
+        self._trends: Dict[int, List[float]] = {}
+
+    def _trend(
+        self, bus: "TelemetryBus", server: int, now: float
+    ) -> Tuple[float, float]:
+        """(forecast rate, forecast depth) for one server at time ``now``.
+
+        Folds completed windows into the per-server EWMA state; a state
+        ahead of the bus (the bus was reset for a new run) starts over.
+        """
+        completed = min(bus.window_index(now) - 1, bus.last_window)
+        state = self._trends.get(server)
+        if state is None or state[0] > completed:
+            state = self._trends[server] = [-1.0, float("nan"), 0.0]
+        last = int(state[0])
+        for window in range(last + 1, completed + 1):
+            rate = bus.measured_rate(server, window)
+            if rate == rate:  # an idle window carries no capacity signal
+                previous = state[1]
+                state[1] = (
+                    rate
+                    if previous != previous
+                    else self.alpha * rate + (1 - self.alpha) * previous
+                )
+            depth = bus.mean_depth(server, window)
+            state[2] = self.alpha * depth + (1 - self.alpha) * state[2]
+        state[0] = float(completed)
+        return state[1], state[2]
+
+    def place(self, context: PlacementContext) -> int:
+        bus = context.telemetry
+        now = context.time
+        hint = max(context.batch_hint, 1)
+
+        def score(server: int) -> Tuple[float, float, int]:
+            nominal = self.speeds[server]
+            rate, depth = (
+                self._trend(bus, server, now)
+                if bus is not None
+                else (float("nan"), 0.0)
+            )
+            if not rate > 0:  # nan or zero: no history yet, trust nominal
+                rate = nominal
+            estimate = self.service_seconds(server, hint) * (nominal / rate)
+            pressure = self.depth_weight * depth / rate
+            return (
+                max(context.free_at[server], now) + estimate + pressure,
+                -rate,
+                server,
+            )
 
         return min(context.active, key=score)
 
@@ -175,5 +345,6 @@ class ModelAffinityPlacer:
             model=context.model,
             pending=context.pending,
             batch_hint=context.batch_hint,
+            telemetry=context.telemetry,
         )
         return self.within.place(inner)

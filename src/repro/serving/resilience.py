@@ -1,0 +1,305 @@
+"""Resilience: fault injection, request preemption & migration policies.
+
+The cluster control plane (:mod:`repro.serving.cluster`) can grow and shrink
+the fleet, but until this module a batch pinned to a failed server was simply
+lost work.  Three pieces make the serving stack survive faults:
+
+* **Fault plane** — :class:`FaultEvent` describes one injected fault (a
+  ``crash``, a ``slowdown`` by a factor, or a ``recover``) against one
+  server; a :class:`FaultSchedule` is the validated, time-ordered script a
+  :class:`~repro.serving.cluster.ClusterEngine` applies at telemetry window
+  boundaries.  Per-server health lands in
+  :class:`~repro.serving.cluster.ServerSpec` state (``health`` /
+  ``slow_factor``) and every applied fault is surfaced on the
+  :class:`~repro.serving.telemetry.TelemetryBus` timeline next to the scale
+  events.  Slowdowns act through :class:`DegradableExecutor`, a transparent
+  per-server executor wrapper whose service-time factor the control plane
+  adjusts at run time.
+* **Preemption & migration** — when a server crashes (or, with a migration
+  policy configured, is deactivated by the autoscaler), the engine's
+  :meth:`~repro.serving.engine.ServingEngine.preempt_server` rewinds the
+  server's unfinished batches and hands the affected requests — as
+  :class:`Migrant` records — to a :class:`MigrationPolicy`, which decides per
+  request whether it re-enters the queue (and when it becomes serviceable)
+  or is dropped.  Requeued migrants flow back through the configured
+  :class:`~repro.serving.schedulers.Scheduler` and are re-placed by the
+  configured :class:`~repro.serving.placement.Placer`; each successful move
+  increments :attr:`~repro.serving.engine.Response.migrations`, and the
+  policy's ``delay`` charges migration latency explicitly (a migrant is
+  never serviceable before ``preemption time + delay``).
+* **Predictive placement** — lives in :mod:`repro.serving.placement`
+  (:class:`~repro.serving.placement.PredictivePlacer`): windowed telemetry
+  trends instead of instantaneous free clocks, which is what notices a
+  *degraded* (slowed-down) server whose nominal speed is stale.
+
+Everything here is opt-in: an engine that never calls ``preempt_server`` and
+a cluster without a ``fault_schedule`` run the exact seed arithmetic
+(single-server FIFO stays bit-identical to the seed simulator).
+
+Three migration policies ship with the module:
+
+* :class:`RequeueAtHeadMigration` — the whole preempted cohort re-enters the
+  queue at the migration point in its original order, ahead of requests that
+  have not yet arrived; under FIFO it re-forms at the head of the post-crash
+  queue (typically as one batch the placer re-places).
+* :class:`RedistributeMigration` — the cohort is split into chunks released
+  ``stagger`` seconds apart, so each chunk forms its own batch and the
+  placer re-places them *independently* — surviving servers share the failed
+  server's work instead of one of them swallowing a head-of-line mega-batch.
+* :class:`DropExpiredMigration` — deadline-aware wrapper: migrants whose
+  deadline cannot possibly be met any more (it precedes the earliest time
+  the migrant could be served) are dropped — and counted as drops — instead
+  of wasting post-fault capacity; the rest are delegated to an inner policy
+  (requeue-at-head by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Protocol, Sequence, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.engine import Batch, BatchExecution, Executor, Request
+
+
+FAULT_KINDS = ("crash", "slowdown", "recover")
+
+
+# ----------------------------------------------------------------------
+# Fault plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault against one server.
+
+    ``kind`` is ``"crash"`` (the server fails: it leaves the active set and
+    its unfinished work is preempted), ``"slowdown"`` (service times are
+    multiplied by ``factor`` until recovery — a thermal throttle, a noisy
+    neighbour, a failing link), or ``"recover"`` (health and speed restored;
+    a crashed server becomes eligible for service again).  ``time`` is the
+    simulation time the fault strikes; the control plane applies it at the
+    first telemetry window boundary after it.
+    """
+
+    time: float
+    server: int
+    kind: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {', '.join(FAULT_KINDS)}"
+            )
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.server < 0:
+            raise ValueError("fault server must be a server id (>= 0)")
+        if self.kind == "slowdown" and self.factor <= 1.0:
+            raise ValueError("a slowdown needs factor > 1 (service times multiply)")
+
+
+class FaultSchedule:
+    """A validated, time-ordered script of fault events for one run.
+
+    The schedule itself is immutable; the control plane keeps its own cursor
+    per run, so one schedule can drive any number of (deterministic,
+    repeatable) runs.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent]) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.time, event.server))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def servers(self) -> List[int]:
+        """Server ids the schedule touches (ascending, unique)."""
+        return sorted({event.server for event in self.events})
+
+    @classmethod
+    def single_crash(
+        cls, server: int, at: float, recover_at: Optional[float] = None
+    ) -> "FaultSchedule":
+        """The canonical scenario: one server crashes (and maybe recovers)."""
+        events = [FaultEvent(time=at, server=server, kind="crash")]
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ValueError("recover_at must come after the crash")
+            events.append(FaultEvent(time=recover_at, server=server, kind="recover"))
+        return cls(events)
+
+
+class DegradableExecutor:
+    """Executor wrapper whose service times the fault plane can inflate.
+
+    ``factor`` starts at 1.0 (transparent); a slowdown fault raises it and a
+    recovery resets it.  Outputs and executed-ratio overrides pass through
+    untouched — only the reported service time stretches, which is exactly
+    what a degraded-but-correct accelerator looks like from the queue.
+    """
+
+    def __init__(self, inner: "Executor") -> None:
+        self.inner = inner
+        self.factor = 1.0
+
+    def execute(self, batch: "Batch", mode: str, ratio: float) -> "BatchExecution":
+        execution = self.inner.execute(batch, mode, ratio)
+        if self.factor != 1.0:
+            execution = replace(
+                execution, service_time=execution.service_time * self.factor
+            )
+        return execution
+
+
+# ----------------------------------------------------------------------
+# Preemption & migration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Migrant:
+    """One request preempted off a failing/deactivated server.
+
+    ``slot`` is the engine's stable admission slot, ``arrival`` the original
+    arrival time (latency is always charged from it — migration shows up as
+    response time, never hides), ``deadline``/``request`` carry scheduler
+    metadata when the session has explicit requests (trace sessions migrate
+    too, with ``request=None``), and ``migrations`` counts moves *before*
+    this preemption.
+    """
+
+    slot: int
+    arrival: float
+    deadline: Optional[float] = None
+    request: Optional["Request"] = None
+    migrations: int = 0
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """What one :meth:`ServingEngine.preempt_server` call did."""
+
+    batches: int        # unfinished batches rewound off the server
+    migrated: int       # requests requeued (each gains one migration)
+    dropped: int        # requests dropped by the migration policy (or None policy)
+
+    @property
+    def requests(self) -> int:
+        return self.migrated + self.dropped
+
+
+class MigrationPolicy(Protocol):
+    """Decides where preempted requests go.
+
+    :meth:`plan` sees the whole preempted cohort (in original batch order)
+    plus the preemption time and returns one entry per migrant: a float
+    *ready key* — the pending-queue ordering key, which is also the earliest
+    time the migrant may be served — or ``None`` to drop the request (it is
+    counted as a drop, and as a deadline miss if it carried one).  The
+    engine clamps ready keys to at least the preemption time: migrated work
+    can never be re-served in the past.
+    """
+
+    def plan(
+        self, migrants: Sequence[Migrant], time: float
+    ) -> Sequence[Optional[float]]:
+        ...
+
+
+@dataclass
+class RequeueAtHeadMigration:
+    """Re-enter the whole cohort at the migration point, original order.
+
+    Every migrant becomes serviceable at ``time + delay`` (``delay`` is the
+    explicit migration cost: state handoff, connection re-establishment) and
+    keeps its position relative to the other migrants.  Queued work that
+    arrived before the fault keeps its place — the engine is work-conserving
+    — but the cohort precedes everything that has not yet arrived, so under
+    FIFO it sits at the head of the post-fault queue.
+    """
+
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("migration delay must be >= 0")
+
+    def plan(
+        self, migrants: Sequence[Migrant], time: float
+    ) -> List[Optional[float]]:
+        ready = time + self.delay
+        return [ready] * len(migrants)
+
+
+@dataclass
+class RedistributeMigration:
+    """Split the cohort into chunks the placer re-places independently.
+
+    A crashed server's in-flight batch can be large (``max_batch`` under
+    backlog); requeued as one block it re-forms as one batch on *one*
+    surviving server.  This policy releases the cohort in chunks of
+    ``chunk`` requests, ``stagger`` seconds apart: each chunk arrives as its
+    own head-of-queue run, forms its own batch, and goes through the
+    :class:`~repro.serving.placement.Placer` separately — so the surviving
+    servers *share* the failed server's work.  ``stagger`` should be on the
+    order of one batch service time; ``delay`` is the per-migration cost
+    charged before the first chunk.
+    """
+
+    delay: float = 0.0
+    chunk: int = 16
+    stagger: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.delay < 0 or self.stagger < 0:
+            raise ValueError("delay and stagger must be >= 0")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+
+    def plan(
+        self, migrants: Sequence[Migrant], time: float
+    ) -> List[Optional[float]]:
+        return [
+            time + self.delay + (index // self.chunk) * self.stagger
+            for index in range(len(migrants))
+        ]
+
+
+@dataclass
+class DropExpiredMigration:
+    """Drop migrants whose deadline is already unwinnable; requeue the rest.
+
+    A migrant whose ``deadline`` precedes the earliest time it could be
+    served again (the inner policy's ready key) can only waste post-fault
+    capacity; it is dropped immediately and counted as a drop — which also
+    means a deadline miss, so the accounting stays honest.  Everything else
+    (including deadline-less migrants) is planned by ``within``
+    (:class:`RequeueAtHeadMigration` with the same ``delay`` by default).
+    """
+
+    delay: float = 0.0
+    within: Optional[MigrationPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("migration delay must be >= 0")
+        if self.within is None:
+            self.within = RequeueAtHeadMigration(delay=self.delay)
+
+    def plan(
+        self, migrants: Sequence[Migrant], time: float
+    ) -> List[Optional[float]]:
+        keys = list(self.within.plan(migrants, time))
+        if len(keys) != len(migrants):
+            raise ValueError("inner migration policy returned a short plan")
+        for index, (migrant, key) in enumerate(zip(migrants, keys)):
+            if key is None or migrant.deadline is None:
+                continue
+            if migrant.deadline <= max(float(key), time):
+                keys[index] = None
+        return keys

@@ -37,6 +37,14 @@ request** serves next, a :class:`~repro.serving.placement.Placer` picks
 **which server** runs the batch.  The two compose freely — e.g. EDF
 ordering with weighted-by-speed placement on a heterogeneous cluster (see
 ``tests/test_serving_cluster.py``).
+
+Schedulers also order **migrated** work: when the resilience plane
+(:mod:`repro.serving.resilience`) preempts a failing server's batches, the
+requeued requests re-enter admission gated by their migration-ready time
+and are then re-ranked by exactly the same :meth:`Scheduler.key` as fresh
+requests — an EDF queue re-sorts migrants by their (unchanged) deadlines,
+a priority queue by their priorities, with the original arrival time still
+the tie-breaker.  No scheduler needs migration-specific code.
 """
 
 from __future__ import annotations

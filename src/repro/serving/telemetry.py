@@ -21,7 +21,12 @@ queries per server, per window, or cluster-wide:
 
 Scale events (:class:`ScaleEvent`) are appended to the same timeline so a
 run's elasticity decisions are auditable next to the signals that caused
-them.  Ratio policies reach the bus through
+them; applied fault injections
+(:class:`~repro.serving.resilience.FaultEvent`) land in ``fault_events``
+the same way, so a crash/slowdown/recovery is auditable next to the windows
+it disturbed.  A preempted (migrated) batch is *un*-recorded exactly
+(:meth:`TelemetryBus.unrecord_batch`), so windowed series never count work
+a failed server did not actually complete.  Ratio policies reach the bus through
 :attr:`repro.serving.policies.PolicyContext.telemetry`, which is how the
 per-server :class:`~repro.serving.policies.PerServerAdaptiveRatioPolicy`
 finally observes per-server rates instead of global window rates.
@@ -41,6 +46,7 @@ from repro.serving.metrics import latency_percentile, summarize_latencies
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.engine import BatchRecord
+    from repro.serving.resilience import FaultEvent
 
 # Server id used for events not attributable to one server (queue-side drops).
 CLUSTER = -1
@@ -134,6 +140,7 @@ class TelemetryBus:
         self.num_servers = int(num_servers)
         self._cells: Dict[Tuple[int, int], _WindowCell] = {}
         self.scale_events: List[ScaleEvent] = []
+        self.fault_events: List["FaultEvent"] = []
         self.last_window = -1
 
     # ------------------------------------------------------------------
@@ -142,6 +149,7 @@ class TelemetryBus:
     def reset(self) -> None:
         self._cells.clear()
         self.scale_events.clear()
+        self.fault_events.clear()
         self.last_window = -1
 
     def window_index(self, time: float) -> int:
@@ -176,6 +184,43 @@ class TelemetryBus:
         if latencies is not None:
             cell.latencies.extend(float(value) for value in latencies)
 
+    def unrecord_batch(
+        self,
+        record: "BatchRecord",
+        latencies: Optional[np.ndarray] = None,
+        deadline_total: int = 0,
+        deadline_met: int = 0,
+        kill_time: Optional[float] = None,
+    ) -> None:
+        """Reverse one :meth:`record_batch` (the batch was preempted).
+
+        A crashed server's unfinished batch was already accounted when it
+        was (optimistically) executed; migration rewinds the engine state,
+        and this hook rewinds the telemetry cell with the exact inverse
+        arithmetic — the queue depth comes from the record itself
+        (``BatchRecord.queue_depth``), latencies are removed by value.
+        ``kill_time`` is the preemption instant: busy seconds the server
+        really spent before it ([start, kill_time), wasted work) stay
+        accounted, matching the engine's busy-time bill.
+        """
+        cell = self._cell(record.server, self.window_index(record.start))
+        cell.served -= record.size
+        cell.batches -= 1
+        killed_from = (
+            record.start if kill_time is None else max(record.start, kill_time)
+        )
+        cell.busy -= record.finish - killed_from
+        cell.ratio_weight -= record.ratio * record.size
+        cell.queue_depth_sum -= int(record.queue_depth)
+        cell.deadline_total -= int(deadline_total)
+        cell.deadline_met -= int(deadline_met)
+        if latencies is not None:
+            for value in latencies:
+                try:
+                    cell.latencies.remove(float(value))
+                except ValueError:
+                    pass  # never recorded (bus attached mid-run)
+
     def record_drops(
         self, time: float, count: int, deadline_misses: int = 0
     ) -> None:
@@ -186,6 +231,10 @@ class TelemetryBus:
 
     def record_scale_event(self, event: ScaleEvent) -> None:
         self.scale_events.append(event)
+
+    def record_fault_event(self, event: "FaultEvent") -> None:
+        """Append one applied fault injection to the run timeline."""
+        self.fault_events.append(event)
 
     # ------------------------------------------------------------------
     # Queries
@@ -227,6 +276,32 @@ class TelemetryBus:
             self.server_window(server, window)
             for window in range(self.last_window + 1)
         ]
+
+    def measured_rate(self, server: int, window: int) -> float:
+        """Requests per *busy* second one server sustained during a window.
+
+        The server's demonstrated service capacity, robust to idleness
+        (an idle fast server serves 0 req/s of window time but its busy
+        seconds still reveal its speed).  ``nan`` when the server ran no
+        batch in the window.  A cheap cell read — no latency arrays are
+        materialized — so placers may call it per batch
+        (:class:`~repro.serving.placement.PredictivePlacer` does).
+        """
+        cell = self._cells.get((int(server), int(window)))
+        if cell is None or cell.busy <= 0:
+            return float("nan")
+        return cell.served / cell.busy
+
+    def mean_depth(self, server: int, window: int) -> float:
+        """Mean queue depth observed at one server's batch formations.
+
+        0.0 for windows without batches (no congestion signal is no
+        congestion).  Cheap like :meth:`measured_rate`.
+        """
+        cell = self._cells.get((int(server), int(window)))
+        if cell is None or cell.batches <= 0:
+            return 0.0
+        return cell.queue_depth_sum / cell.batches
 
     def served_rate(self, server: int, window: int) -> float:
         """Requests/second one server actually served during a window.

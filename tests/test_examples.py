@@ -5,8 +5,8 @@ move; each test runs a script exactly the way the docs say to
 (``python examples/<name>.py`` with ``src`` on the path) and asserts a
 clean exit plus the landmark output each scenario promises.  The heavier
 examples (``adaptive_serving``, ``llm_case_study``, ``hardware_latency_tour``)
-are exercised by the figure benchmarks already; these three cover the
-quickstart path and the two serving-cluster tours.
+are exercised by the figure benchmarks already; these cover the quickstart
+path and the serving-cluster tours (placement/autoscaling and resilience).
 """
 
 from __future__ import annotations
@@ -64,3 +64,13 @@ def test_autoscaling_cluster_runs_end_to_end():
     assert "Per-server adaptive ratios" in out
     # The demo's promise: scale-up and scale-down both happened.
     assert "add server" in out and "remove server" in out
+
+
+def test_resilient_cluster_runs_end_to_end():
+    out = run_example("resilient_cluster.py")
+    assert "Fault plane" in out
+    assert "Predictive placement" in out
+    # The demo's promise: the crash really cost the baseline its SLO and
+    # migration really saved it.
+    assert "NO" in out and "Migration rescued" in out
+    assert "crash server 0" in out and "recover server 0" in out
