@@ -41,6 +41,14 @@ deadline-attainment SLO; with preemption & migration every victim is
 requeued, re-placed and served — 100% conservation, SLO met.  Also exact:
 the schedules are deterministic.
 
+A ``failure_domains`` section exercises the PR 6 failure-domain layer on
+the exact ``examples/zone_outage.py`` scenario (imported, so the demo and
+the gate cannot drift): a whole zone — two of four active servers — fails
+as a unit.  The flat single-domain cluster misses the deadline-attainment
+SLO; reactive cold standby meets it but pays the provisioning lag; spread
+placement + warm spares meet it with the lowest p99 (promotion latency
+only).  Deterministic, so the gates are exact.
+
 Run it directly (finishes well under 60 s with a warm pretrain cache)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
@@ -378,6 +386,63 @@ def bench_fault_tolerance() -> dict:
     }
 
 
+def bench_failure_domains() -> dict:
+    """Zone outage vs spread placement + warm spares (PR 6 failure domains).
+
+    Runs the ``examples/zone_outage.py`` scenario verbatim: zones A and B
+    hold two A6000 ViT-Base servers each, zone C holds two reserve spares;
+    zone A fails as a unit mid-run and recovers later.  Four deployments
+    face the same schedule — no fault, the flat PR 5-style cluster
+    (migration only), reactive cold standby (SLO autoscaler + provisioning
+    lag) and spread placement + warm spares (promotion latency only).
+    """
+    import importlib.util
+
+    path = ROOT / "examples" / "zone_outage.py"
+    spec = importlib.util.spec_from_file_location("zone_outage_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    outcomes = module.outage_scenario()
+
+    def row(outcome):
+        promotions = [e for e in outcome.scale_events if e.action == "promote"]
+        demotions = [e for e in outcome.scale_events if e.action == "demote"]
+        return {
+            "deadline_attainment": round(outcome.deadline_attainment(), 5),
+            "slo_met": bool(
+                outcome.deadline_attainment() >= module.ATTAINMENT_TARGET
+            ),
+            "served": int(outcome.latencies.size),
+            "lost": int(outcome.result.dropped),
+            "migrated": int(outcome.migrated),
+            "promotions": len(promotions),
+            "demotions": len(demotions),
+            "p99_ms": round(outcome.p99_latency * 1e3, 2),
+        }
+
+    warm = outcomes["spread + warm spares"]
+    cold = outcomes["cold standby"]
+    return {
+        "model": "vit_base",
+        "mode": "int8",
+        "rate": module.RATE,
+        "zones": list(module.ZONES),
+        "deadline_s": module.DEADLINE_SLO,
+        "slo_attainment_target": module.ATTAINMENT_TARGET,
+        "outage_at_s": module.OUTAGE_AT,
+        "recover_at_s": module.RECOVER_AT,
+        "promotion_latency_s": module.PROMOTION_LATENCY,
+        "cold_provision_s": module.COLD_DELAY,
+        "no_fault": row(outcomes["no fault"]),
+        "flat": row(outcomes["flat (single-domain)"]),
+        "cold_standby": row(cold),
+        "warm_spares": row(warm),
+        "warm_p99_advantage_ms": round(
+            (cold.p99_latency - warm.p99_latency) * 1e3, 2
+        ),
+    }
+
+
 def bench_model(name: str, reps: int = 20) -> dict:
     runtime, dataset = build_runtime(name)
     x = Tensor(dataset.train_images[:BATCH])
@@ -410,6 +475,7 @@ SUMMARY_SECTIONS = (
     "cluster_scaling",
     "heterogeneous_placement",
     "fault_tolerance",
+    "failure_domains",
 )
 
 
@@ -492,6 +558,26 @@ def render(results: dict) -> str:
                 f"lost {row['lost']} | migrated {row['migrated']} | "
                 f"p99 {row['p99_ms']:.1f} ms"
             )
+    domains = results.get("failure_domains")
+    if domains:
+        lines.append("")
+        lines.append(
+            f"Failure domains -- zone A (2 of 4 active servers) fails at "
+            f"t={domains['outage_at_s']:g}s; {domains['deadline_s']:g}s "
+            f"deadlines, SLO >= {domains['slo_attainment_target']:.0%} attainment"
+        )
+        for name in ("no_fault", "flat", "cold_standby", "warm_spares"):
+            row = domains[name]
+            lines.append(
+                f"{name:>12} | attainment {row['deadline_attainment']:.4f} "
+                f"({'met' if row['slo_met'] else 'MISSED'}) | "
+                f"lost {row['lost']} | migrated {row['migrated']} | "
+                f"p99 {row['p99_ms']:.1f} ms"
+            )
+        lines.append(
+            f"{'':>12} | warm promotion beats cold provisioning by "
+            f"{domains['warm_p99_advantage_ms']:.0f} ms p99"
+        )
     return "\n".join(lines)
 
 
@@ -501,6 +587,7 @@ def main() -> dict:
     results["cluster_scaling"] = bench_cluster_scaling()
     results["heterogeneous_placement"] = bench_heterogeneous_placement()
     results["fault_tolerance"] = bench_fault_tolerance()
+    results["failure_domains"] = bench_failure_domains()
     results["meta"] = {
         "benchmark": "prepared_kernels",
         "models": list(MODELS),

@@ -37,6 +37,12 @@ are lost (drops = deadline misses) and the run must fall below the 99%
 deadline-attainment SLO; with preemption & migration every victim re-serves
 (zero lost requests, full conservation) and the SLO must hold.  Exact, the
 schedules are deterministic.
+
+PR 6 adds the failure-domain gate on the ``examples/zone_outage.py``
+scenario: a zone outage (two of four active servers at once) must cost the
+flat single-domain cluster the deadline-attainment SLO, while spread
+placement + warm spares meet it — and beat reactive cold standby on p99
+(promotion latency vs provisioning lag).  Exact and deterministic.
 """
 
 from __future__ import annotations
@@ -141,9 +147,33 @@ def test_prepared_kernel_speedup(benchmark, results_writer):
     assert lost_run["served"] + lost_run["lost"] == admitted
     assert saved_run["migrated"] == lost_run["lost"] > 0
 
+    # Failure domains: the zone outage must sink the flat cluster's SLO,
+    # warm spares must absorb it and beat cold standby on p99 (the PR 6
+    # failure-domain gate; exact, the scenario is deterministic).
+    domains = results["failure_domains"]
+    target = domains["slo_attainment_target"]
+    assert domains["no_fault"]["deadline_attainment"] == 1.0
+    assert domains["flat"]["deadline_attainment"] < target
+    assert not domains["flat"]["slo_met"]
+    assert domains["cold_standby"]["slo_met"]
+    assert domains["warm_spares"]["slo_met"]
+    assert (
+        domains["warm_spares"]["p99_ms"] < domains["cold_standby"]["p99_ms"]
+    )
+    assert domains["warm_p99_advantage_ms"] > 0
+    # Both zone-A servers were covered by promoted spares, later demoted.
+    assert domains["warm_spares"]["promotions"] == 2
+    assert domains["warm_spares"]["demotions"] == 2
+    assert domains["cold_standby"]["promotions"] == 0
+    # Conservation under the outage: the SLO misses are latency, not loss.
+    for name in ("no_fault", "flat", "cold_standby", "warm_spares"):
+        assert domains[name]["lost"] == 0
+    assert domains["warm_spares"]["migrated"] > 0
+
     # The JSON artifact tracks the perf trajectory from this PR onward.
     stored = json.loads(perf_smoke.RESULTS_PATH.read_text())
     assert stored["meta"]["benchmark"] == "prepared_kernels"
     assert "heterogeneous_placement" in stored
     assert "fault_tolerance" in stored
+    assert "failure_domains" in stored
     results_writer("prepared_kernels", perf_smoke.render(results))

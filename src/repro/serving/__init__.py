@@ -42,7 +42,15 @@ The package is organised around :mod:`repro.serving.engine`:
   Response.migrations`), and **predictive placement**
   (:class:`~repro.serving.placement.PredictivePlacer` forecasting per-server
   capacity and congestion from telemetry windows instead of instantaneous
-  free clocks).
+  free clocks).  On top of it sit **failure domains** (zone/rack identity on
+  specs, :class:`~repro.serving.cluster.ClusterTopology`, domain-scoped
+  faults, :class:`~repro.serving.placement.SpreadPlacer`), **warm spares**
+  (:class:`~repro.serving.resilience.WarmSparePool` promoted on crashes
+  without provisioning lag), **predictive fault-aware autoscaling**
+  (:class:`~repro.serving.cluster.PredictiveFaultAutoscaler`) and
+  **partial-batch checkpointing**
+  (:class:`~repro.serving.resilience.StepCheckpoint` — migrants resume with
+  residual demand).
 
 * **Cluster control plane** (:mod:`repro.serving.placement`,
   :mod:`repro.serving.telemetry`, :mod:`repro.serving.cluster`): pluggable
@@ -83,6 +91,8 @@ from repro.serving.cluster import (
     Autoscaler,
     ClusterEngine,
     ClusterResult,
+    ClusterTopology,
+    PredictiveFaultAutoscaler,
     QueueDepthAutoscaler,
     ServerSpec,
     SloLatencyAutoscaler,
@@ -97,9 +107,11 @@ from repro.serving.placement import (
     Placer,
     PlacementContext,
     PredictivePlacer,
+    SpreadPlacer,
     WeightedSpeedPlacer,
 )
 from repro.serving.resilience import (
+    CheckpointPolicy,
     DegradableExecutor,
     DropExpiredMigration,
     FaultEvent,
@@ -109,6 +121,8 @@ from repro.serving.resilience import (
     Preemption,
     RedistributeMigration,
     RequeueAtHeadMigration,
+    StepCheckpoint,
+    WarmSparePool,
 )
 from repro.serving.policies import (
     AdaptiveRatioPolicy,
@@ -155,8 +169,10 @@ __all__ = [
     "BatchExecution",
     "BatchRecord",
     "BatchingConfig",
+    "CheckpointPolicy",
     "ClusterEngine",
     "ClusterResult",
+    "ClusterTopology",
     "ClusterWindowStats",
     "DegradableExecutor",
     "DropExpiredMigration",
@@ -178,6 +194,7 @@ __all__ = [
     "PlacementContext",
     "PolicyContext",
     "Preemption",
+    "PredictiveFaultAutoscaler",
     "PredictivePlacer",
     "PriorityScheduler",
     "QueueDepthAutoscaler",
@@ -199,7 +216,10 @@ __all__ = [
     "ServingResult",
     "ServingSimulator",
     "SloLatencyAutoscaler",
+    "SpreadPlacer",
+    "StepCheckpoint",
     "TelemetryBus",
+    "WarmSparePool",
     "WeightedSpeedPlacer",
     "attainment_within",
     "gpu_server",

@@ -20,9 +20,25 @@ production serving system that decides what the cluster looks like:
 * :class:`Autoscaler` — a window-boundary policy deciding how many servers
   stay active.  :class:`QueueDepthAutoscaler` and
   :class:`SloLatencyAutoscaler` implement hysteresis-based scaling on queue
-  depth and windowed latency percentiles; scale decisions are applied via
+  depth and windowed latency percentiles;
+  :class:`PredictiveFaultAutoscaler` additionally watches per-server
+  telemetry trends and provisions *before* the SLO window breaks.  Scale
+  decisions are applied via
   :meth:`~repro.serving.engine.ServingEngine.set_active_servers` and
   recorded as :class:`~repro.serving.telemetry.ScaleEvent` in the timeline.
+* **Failure domains** — every spec carries a ``zone``/``rack`` identity;
+  :class:`ClusterTopology` groups servers by the failure domain they share
+  fate with.  Domain-scoped faults (``zone_outage``, ``rack_slowdown``)
+  expand to per-server events against the topology,
+  :class:`~repro.serving.placement.SpreadPlacer` keeps load from
+  concentrating in one domain, and with ``min_domains`` set the autoscaler
+  never parks a model's way down to a single domain.
+* **Warm spares** — a :class:`~repro.serving.resilience.WarmSparePool`
+  holds pre-replicated standby servers out of the ordinary active set; a
+  crash of an active server *promotes* the fastest healthy spare with only
+  the pool's ``promotion_latency`` (not the cold ``startup_delay``), and a
+  later recovery demotes a spare back to reserve.  Both land on the
+  telemetry timeline as ``"promote"``/``"demote"`` scale events.
 
 A :class:`ClusterEngine` with one GPU spec, no placer and no autoscaler
 degenerates to the seed single-server FIFO simulator (bit-identical
@@ -32,7 +48,7 @@ latencies); see ``tests/test_serving_cluster.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -55,13 +71,16 @@ from repro.serving.placement import (
     Placer,
     PredictivePlacer,
     ServiceEstimator,
+    SpreadPlacer,
     WeightedSpeedPlacer,
 )
 from repro.serving.resilience import (
+    CheckpointPolicy,
     DegradableExecutor,
     FaultEvent,
     FaultSchedule,
     MigrationPolicy,
+    WarmSparePool,
 )
 from repro.serving.schedulers import Scheduler
 from repro.serving.simulator import ServiceTimeModel
@@ -83,6 +102,12 @@ class ServerSpec:
     the reference batch — only the *ratios* between specs matter, and the
     speed-aware placers consume them verbatim.
 
+    ``zone`` / ``rack`` are the server's failure-domain identity: servers
+    sharing a zone (or, absent zones, a rack) share fate under correlated
+    faults (``zone_outage``, ``rack_slowdown``).  Both default to ``""`` —
+    no declared domain, every server its own island — so existing configs
+    are untouched; :class:`ClusterTopology` derives the domain map.
+
     ``health`` / ``slow_factor`` are run-time state maintained by the fault
     plane (:mod:`repro.serving.resilience`): ``"healthy"`` serves at nominal
     speed, ``"degraded"`` serves with service times inflated by
@@ -96,6 +121,8 @@ class ServerSpec:
     service_model: Optional[ServiceTimeModel] = None
     executor: Optional[Executor] = None
     device: str = ""
+    zone: str = ""
+    rack: str = ""
     health: str = "healthy"
     slow_factor: float = 1.0
 
@@ -130,13 +157,25 @@ class ServerSpec:
         return ModeledExecutor(self.service_model)
 
     def estimate_batch_seconds(
-        self, batch_size: int, mode: str = "int8", ratio: float = 0.0
+        self,
+        batch_size: int,
+        mode: str = "int8",
+        ratio: float = 0.0,
+        residual: float = 1.0,
     ) -> float:
         """Estimated service seconds for one batch (speed fallback without
-        a service model)."""
+        a service model).
+
+        ``residual`` scales the estimate for partially-checkpointed work: a
+        migrated cohort whose largest surviving demand is ``1 - progress``
+        costs only that fraction of the full batch (see
+        :class:`~repro.serving.resilience.CheckpointPolicy`).
+        """
+        if not 0 < residual <= 1:
+            raise ValueError("residual must be in (0, 1]")
         if self.service_model is not None:
-            return self.service_model.batch_latency(batch_size, mode, ratio)
-        return batch_size / self.speed
+            return self.service_model.batch_latency(batch_size, mode, ratio) * residual
+        return batch_size / self.speed * residual
 
 
 def _measured_speed(
@@ -155,12 +194,15 @@ def gpu_server(
     anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
     reference_batch: int = 64,
     mode: str = "int8",
+    zone: str = "",
+    rack: str = "",
 ) -> ServerSpec:
     """A GPU-backed server profile from the :mod:`repro.hardware.gpu` model.
 
     ``speed`` is measured from the device's own latency model at
     ``reference_batch`` in ``mode`` — the number placement weighs, derived
-    rather than guessed.
+    rather than guessed.  ``zone``/``rack`` declare the server's failure
+    domain (see :class:`ClusterTopology`).
     """
     service = ServiceTimeModel(model_name, gpu=gpu, anchor_batches=anchor_batches)
     return ServerSpec(
@@ -168,6 +210,8 @@ def gpu_server(
         speed=_measured_speed(service, reference_batch, mode),
         service_model=service,
         device=f"gpu:{gpu}",
+        zone=zone,
+        rack=rack,
     )
 
 
@@ -178,6 +222,8 @@ def npu_server(
     anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
     reference_batch: int = 64,
     mode: str = "int8",
+    zone: str = "",
+    rack: str = "",
 ) -> ServerSpec:
     """An NPU-backed server profile from the :mod:`repro.hardware.npu` model.
 
@@ -196,7 +242,107 @@ def npu_server(
         speed=_measured_speed(service, reference_batch, mode),
         service_model=service,
         device="npu",
+        zone=zone,
+        rack=rack,
     )
+
+
+# ----------------------------------------------------------------------
+# Failure-domain topology
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Failure-domain map of a cluster: which servers share fate.
+
+    Built from the specs' ``zone``/``rack`` declarations
+    (:meth:`from_specs`).  A server's *domain* is its finest declared
+    correlated-failure group: ``"zone:<name>"`` when it has a zone,
+    ``"rack:<name>"`` when it only has a rack, and ``"server:<id>"`` when it
+    declared neither (an undeclared server is its own island, which keeps
+    domain-unaware clusters behaving exactly as before).  The spread placer,
+    domain-aware autoscaling and :meth:`~repro.serving.resilience.
+    FaultSchedule.expand` all consume this map.
+    """
+
+    zone_by_server: Tuple[str, ...]
+    rack_by_server: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.zone_by_server) != len(self.rack_by_server):
+            raise ValueError("zone and rack maps must cover the same servers")
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[ServerSpec]) -> "ClusterTopology":
+        return cls(
+            zone_by_server=tuple(str(spec.zone) for spec in specs),
+            rack_by_server=tuple(str(spec.rack) for spec in specs),
+        )
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.zone_by_server)
+
+    def zone_of(self, server: int) -> str:
+        return self.zone_by_server[server]
+
+    def rack_of(self, server: int) -> str:
+        return self.rack_by_server[server]
+
+    def domain_of(self, server: int) -> str:
+        """The server's finest failure-domain label (always non-empty)."""
+        zone = self.zone_by_server[server]
+        if zone:
+            return f"zone:{zone}"
+        rack = self.rack_by_server[server]
+        if rack:
+            return f"rack:{rack}"
+        return f"server:{server}"
+
+    def servers_in_zone(self, name: str) -> List[int]:
+        """Member server ids of one zone, ascending (empty if unknown)."""
+        return [
+            server
+            for server, zone in enumerate(self.zone_by_server)
+            if zone == str(name)
+        ]
+
+    def servers_in_rack(self, name: str) -> List[int]:
+        """Member server ids of one rack, ascending (empty if unknown)."""
+        return [
+            server
+            for server, rack in enumerate(self.rack_by_server)
+            if rack == str(name)
+        ]
+
+    @property
+    def zones(self) -> Dict[str, List[int]]:
+        """Declared zones and their member servers (insertion order)."""
+        groups: Dict[str, List[int]] = {}
+        for server, zone in enumerate(self.zone_by_server):
+            if zone:
+                groups.setdefault(zone, []).append(server)
+        return groups
+
+    @property
+    def racks(self) -> Dict[str, List[int]]:
+        """Declared racks and their member servers (insertion order)."""
+        groups: Dict[str, List[int]] = {}
+        for server, rack in enumerate(self.rack_by_server):
+            if rack:
+                groups.setdefault(rack, []).append(server)
+        return groups
+
+    @property
+    def domains(self) -> Dict[str, List[int]]:
+        """Every failure domain and its member servers."""
+        groups: Dict[str, List[int]] = {}
+        for server in range(self.num_servers):
+            groups.setdefault(self.domain_of(server), []).append(server)
+        return groups
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.domains)
 
 
 # ----------------------------------------------------------------------
@@ -316,6 +462,120 @@ class SloLatencyAutoscaler:
         return active
 
 
+@dataclass
+class PredictiveFaultAutoscaler:
+    """Provision *ahead of* predicted degradation from telemetry trends.
+
+    The reactive autoscalers wait for a breach — a blown percentile or a
+    dropped request — which under a fault means a whole SLO window of damage
+    is already done before capacity moves.  This policy watches the same
+    per-server served-per-busy-second signal
+    :class:`~repro.serving.placement.PredictivePlacer` forecasts with: it
+    keeps an EWMA of each server's measured rate and scales **up** the
+    moment a server's newest windowed rate *collapses* below
+    ``collapse_ratio`` of its forecast (a slowdown fault, thermal throttle
+    or failing link shows up there one window after onset, typically before
+    the cluster percentile breaks).  The breach signals of
+    :class:`SloLatencyAutoscaler` (drops, then the windowed ``percentile``
+    against ``slo_seconds``) remain as the reactive backstop, and scale-down
+    keeps the same hysteresis (``patience`` calm windows under
+    ``slo_seconds * headroom``).
+
+    The control plane hands the policy its
+    :class:`~repro.serving.telemetry.TelemetryBus` through :meth:`attach`
+    (called by :meth:`ClusterEngine.run`); without a bus the policy degrades
+    to the reactive behaviour.  When a collapse triggered the decision,
+    ``last_reason`` names the collapsed servers and the control plane
+    appends it to the scale event's audit line.
+    """
+
+    slo_seconds: float
+    collapse_ratio: float = 0.6
+    alpha: float = 0.5
+    percentile: float = 99.0
+    headroom: float = 0.5
+    patience: int = 2
+    step: int = 1
+    _calm_windows: int = field(default=0, init=False, repr=False)
+    _ewma: Dict[int, float] = field(default_factory=dict, init=False, repr=False)
+    _telemetry: Optional[TelemetryBus] = field(
+        default=None, init=False, repr=False
+    )
+    last_reason: str = field(default="", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if not 0 < self.collapse_ratio < 1:
+            raise ValueError("collapse_ratio must be in (0, 1)")
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 < self.headroom <= 1:
+            raise ValueError("headroom must be in (0, 1]")
+        if self.patience < 1 or self.step < 1:
+            raise ValueError("patience and step must be >= 1")
+
+    def attach(self, telemetry: TelemetryBus) -> None:
+        """Receive the cluster's telemetry bus (control-plane hook)."""
+        self._telemetry = telemetry
+
+    def reset(self) -> None:
+        """Clear forecasts and hysteresis (called by the control plane per run)."""
+        self._calm_windows = 0
+        self._ewma.clear()
+        self.last_reason = ""
+
+    def _collapsed_servers(self, window: int) -> List[int]:
+        """Fold the window into the forecasts; return servers that collapsed."""
+        bus = self._telemetry
+        collapsed: List[int] = []
+        if bus is None or window < 0:
+            return collapsed
+        for server in range(bus.num_servers):
+            rate = bus.measured_rate(server, window)
+            if rate != rate:  # idle window carries no capacity signal
+                continue
+            forecast = self._ewma.get(server)
+            if forecast is not None and rate < self.collapse_ratio * forecast:
+                collapsed.append(server)
+            # The degraded rate still folds in (slowly, via the EWMA): the
+            # policy must also notice when the server *recovers*.
+            self._ewma[server] = (
+                rate
+                if forecast is None
+                else self.alpha * rate + (1 - self.alpha) * forecast
+            )
+        return collapsed
+
+    def decide(self, stats: ClusterWindowStats, active: int) -> int:
+        self.last_reason = ""
+        collapsed = self._collapsed_servers(stats.window)
+        if collapsed:
+            self._calm_windows = 0
+            self.last_reason = (
+                "predicted degradation: served-per-busy-second collapsed on "
+                f"server(s) {collapsed}"
+            )
+            return active + self.step
+        if stats.drops > 0:
+            self._calm_windows = 0
+            return active + self.step
+        if stats.latencies.size == 0:
+            return active
+        observed = stats.latency_percentile(self.percentile)
+        if observed > self.slo_seconds:
+            self._calm_windows = 0
+            return active + self.step
+        if observed < self.slo_seconds * self.headroom:
+            self._calm_windows += 1
+            if self._calm_windows >= self.patience:
+                self._calm_windows = 0
+                return active - self.step
+            return active
+        self._calm_windows = 0
+        return active
+
+
 # ----------------------------------------------------------------------
 # Control plane
 # ----------------------------------------------------------------------
@@ -339,6 +599,15 @@ class ClusterResult:
     def migrated(self) -> int:
         """Requests moved off failed/deactivated servers and re-served."""
         return self.result.migrated
+
+    @property
+    def promotions(self) -> List[ScaleEvent]:
+        """Warm-spare activations (scale events with action ``"promote"``)."""
+        return [event for event in self.scale_events if event.action == "promote"]
+
+    def timeline(self) -> List[object]:
+        """Scale *and* fault events merged in deterministic time order."""
+        return self.telemetry.timeline()
 
     def deadline_attainment(self) -> float:
         """Fraction of deadline-carrying requests that met their deadline."""
@@ -387,7 +656,7 @@ class ClusterResult:
         ]
 
 
-_PLACERS = ("free_clock", "least_work", "weighted", "predictive")
+_PLACERS = ("free_clock", "least_work", "weighted", "predictive", "spread")
 
 
 class ClusterEngine:
@@ -416,6 +685,17 @@ class ClusterEngine:
     ``migration`` policy (:class:`~repro.serving.resilience.
     MigrationPolicy`) decides what happens to the work a crashed — or, with
     migration configured, autoscaler-deactivated — server leaves behind.
+    Domain-scoped schedule events are expanded against the cluster's
+    :class:`ClusterTopology` at construction.  A ``checkpoint`` policy
+    (:class:`~repro.serving.resilience.CheckpointPolicy`) lets preempted
+    batches keep their checkpointed progress, so migrated victims resume
+    with residual demand.  ``warm_spares``
+    (:class:`~repro.serving.resilience.WarmSparePool`) reserves the named
+    specs as standbys: they start parked, ordinary scale-up skips them, and
+    a crash of an active server promotes one with the pool's
+    ``promotion_latency`` instead of the cold ``startup_delay``.
+    ``min_domains`` makes scale-down refuse to shrink the active set (and
+    each affinity model's active set) below that many failure domains.
     Without a migration policy a crash drops its victims (lost work);
     without a fault schedule this class behaves exactly as before.
     """
@@ -434,11 +714,36 @@ class ClusterEngine:
         fault_schedule: Optional[FaultSchedule] = None,
         migration: Optional[MigrationPolicy] = None,
         model_floors: Optional[Dict[str, int]] = None,
+        warm_spares: Optional[WarmSparePool] = None,
+        min_domains: Optional[int] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         if not specs:
             raise ValueError("a cluster needs at least one ServerSpec")
         self.specs = list(specs)
+        self.topology = ClusterTopology.from_specs(self.specs)
         self.autoscaler = autoscaler
+        self.warm_spares = warm_spares
+        self._spare_ids: Set[int] = (
+            set(warm_spares.spares) if warm_spares is not None else set()
+        )
+        if self._spare_ids:
+            out_of_range = [s for s in self._spare_ids if s >= len(self.specs)]
+            if out_of_range:
+                raise ValueError(
+                    f"warm spare pool names server(s) {sorted(out_of_range)}, "
+                    f"but the cluster has {len(self.specs)} servers"
+                )
+            if len(self._spare_ids) >= len(self.specs):
+                raise ValueError("warm spares cannot cover every server")
+        self._primaries = [
+            s for s in range(len(self.specs)) if s not in self._spare_ids
+        ]
+        self._promoted: Set[int] = set()
+        self.min_domains = None if min_domains is None else int(min_domains)
+        if self.min_domains is not None and self.min_domains < 1:
+            raise ValueError("min_domains must be >= 1")
+        self.checkpoint = checkpoint
         self.min_servers = int(min_servers)
         if not 1 <= self.min_servers <= len(self.specs):
             raise ValueError("min_servers must be in [1, len(specs)]")
@@ -450,6 +755,11 @@ class ClusterEngine:
         self.startup_delay = float(startup_delay)
         if self.startup_delay < 0:
             raise ValueError("startup_delay must be >= 0")
+        if fault_schedule is not None and fault_schedule.has_domain_events:
+            # Domain events resolve against *this* cluster's topology; the
+            # expanded (fully server-scoped) schedule is what the run cursor
+            # walks, each event tagged with its correlated-origin domain.
+            fault_schedule = fault_schedule.expand(self.topology)
         self.fault_schedule = fault_schedule
         if fault_schedule is not None:
             for event in fault_schedule:
@@ -483,12 +793,13 @@ class ClusterEngine:
         if self.model_floors is not None:
             # Floors only act through affinity scale-down; accepting them
             # anywhere else would silently configure nothing.
-            if not isinstance(self.engine.placer, ModelAffinityPlacer):
+            affinity = self._affinity_placer()
+            if affinity is None:
                 raise ValueError(
                     "model_floors requires a ModelAffinityPlacer (floors act "
                     "on a model's affine server set)"
                 )
-            unknown = set(self.model_floors) - set(self.engine.placer.affinity)
+            unknown = set(self.model_floors) - set(affinity.affinity)
             if unknown:
                 raise ValueError(
                     "model_floors names models absent from the affinity map: "
@@ -545,6 +856,13 @@ class ClusterEngine:
                 return PredictivePlacer(
                     self.speeds, estimators=self.batch_estimators()
                 )
+            if placer == "spread":
+                return SpreadPlacer(
+                    self.topology,
+                    within=WeightedSpeedPlacer(
+                        self.speeds, estimators=self.batch_estimators()
+                    ),
+                )
             raise ValueError(
                 f"unknown placer {placer!r}; named placers: {', '.join(_PLACERS)}"
             )
@@ -558,6 +876,30 @@ class ClusterEngine:
         return ModelAffinityPlacer(
             affinity, within=inner if inner is not None else FreeClockPlacer()
         )
+
+    def spread_placer(
+        self,
+        within: Union[Placer, str, None] = None,
+        max_domain_share: Optional[float] = None,
+    ) -> SpreadPlacer:
+        """Spread-aware wrapper over this cluster's topology.
+
+        Any named or instance placer becomes domain-aware: ``within``
+        decides inside the least-backlogged failure domain (see
+        :class:`~repro.serving.placement.SpreadPlacer`).
+        """
+        return SpreadPlacer(
+            self.topology,
+            within=self.resolve_placer(within),
+            max_domain_share=max_domain_share,
+        )
+
+    def _affinity_placer(self) -> Optional[ModelAffinityPlacer]:
+        """The cluster's affinity placer, unwrapping one spread layer."""
+        placer = self.engine.placer
+        if isinstance(placer, SpreadPlacer):
+            placer = placer.within
+        return placer if isinstance(placer, ModelAffinityPlacer) else None
 
     # ------------------------------------------------------------------
     # Registry
@@ -615,9 +957,15 @@ class ClusterEngine:
         if (trace is None) == (requests is None):
             raise ValueError("provide exactly one of trace or requests")
         self.telemetry.reset()
-        if self.autoscaler is not None and hasattr(self.autoscaler, "reset"):
-            self.autoscaler.reset()
+        if self.autoscaler is not None:
+            if hasattr(self.autoscaler, "attach"):
+                # Telemetry-driven policies (PredictiveFaultAutoscaler) read
+                # per-server windows straight off the bus.
+                self.autoscaler.attach(self.telemetry)
+            if hasattr(self.autoscaler, "reset"):
+                self.autoscaler.reset()
         self._fault_cursor = 0
+        self._promoted.clear()
         if self.fault_schedule is not None:
             # Deterministic repeat runs: faults re-play from a clean slate.
             for spec in self.specs:
@@ -633,7 +981,11 @@ class ClusterEngine:
             record_responses=record_responses,
         )
         if self.autoscaler is not None:
-            self.engine.set_active_servers(range(self.initial_servers))
+            self.engine.set_active_servers(self._primaries[: self.initial_servers])
+        elif self._spare_ids:
+            # Spares start parked even without an autoscaler: crash-driven
+            # promotion is the only thing that activates them.
+            self.engine.set_active_servers(self._primaries)
         control = self.autoscaler is not None or self.fault_schedule is not None
         next_boundary = self.telemetry.window
         closed = 0
@@ -641,6 +993,23 @@ class ClusterEngine:
             while True:
                 record = self.engine.step()
                 if record is None:
+                    if self.fault_schedule is not None and self._fault_cursor < len(
+                        self.fault_schedule.events
+                    ):
+                        # Trailing faults: events after the last batch start
+                        # (a server crashed in the final window) must still
+                        # land.  Apply ONE event, then re-enter the step
+                        # loop: a crash may requeue migrants whose batches a
+                        # *later* event should see in flight — draining the
+                        # whole schedule here would apply future faults
+                        # before the work they are meant to disturb exists.
+                        event = self.fault_schedule.events[self._fault_cursor]
+                        boundary = (
+                            self.telemetry.window_index(event.time) + 1
+                        ) * self.telemetry.window
+                        self._apply_fault(event, boundary)
+                        self._fault_cursor += 1
+                        continue
                     break
                 # Close every window boundary the clock has passed.  Batch
                 # start times are not strictly monotone across servers, so a
@@ -665,9 +1034,9 @@ class ClusterEngine:
             scale_events=list(self.telemetry.scale_events),
             specs=self.specs,
             initial_active=(
-                self.initial_servers
+                min(self.initial_servers, len(self._primaries))
                 if self.autoscaler is not None
-                else len(self.specs)
+                else len(self._primaries)
             ),
             fault_events=list(self.telemetry.fault_events),
         )
@@ -690,6 +1059,9 @@ class ClusterEngine:
         spec = self.specs[event.server]
         active = self.engine.active_servers
         if event.kind == "crash":
+            if self.warm_spares is not None and event.server in active:
+                if self._promote_spare(event.server, boundary):
+                    active = self.engine.active_servers
             if event.server in active and len(active) == 1:
                 # Losing the sole active server is survivable when a
                 # healthy spare is parked: wake the fastest one (with the
@@ -731,7 +1103,11 @@ class ClusterEngine:
             # Preempt even a parked server: it may still be draining a batch
             # a graceful deactivation let finish.
             self.engine.preempt_server(
-                event.server, event.time, policy=self.migration, kill_running=True
+                event.server,
+                event.time,
+                policy=self.migration,
+                kill_running=True,
+                checkpoint=self.checkpoint,
             )
             if event.server in active:
                 self.engine.set_active_servers(
@@ -758,7 +1134,89 @@ class ClusterEngine:
                 self.engine.set_active_servers(
                     sorted(active + [event.server]), available_from=boundary
                 )
+                if self._promoted and event.server not in self._spare_ids:
+                    # The recovered primary replaces a promoted spare, which
+                    # drains gracefully back to reserve — capacity stays flat
+                    # instead of compounding.
+                    self._demote_spare(boundary)
         self.telemetry.record_fault_event(event)
+
+    def _promote_spare(self, crashed: int, boundary: float) -> bool:
+        """Activate the fastest healthy reserve spare for a crashed server.
+
+        Promotion bypasses the cold ``startup_delay``: the spare's executor
+        state is pre-replicated, so it becomes serviceable after only the
+        pool's ``promotion_latency``.  Returns False when the reserve is
+        exhausted (every spare promoted, crashed or already active) — the
+        ordinary emergency path then takes over.
+        """
+        active = self.engine.active_servers
+        candidates = sorted(
+            (
+                s
+                for s in self._spare_ids
+                if s not in self._promoted
+                and s not in active
+                and s != crashed
+                and self.specs[s].available
+            ),
+            key=lambda s: (-self.specs[s].speed, s),
+        )
+        if not candidates:
+            return False
+        spare = candidates[0]
+        new_active = sorted(active + [spare])
+        self.engine.set_active_servers(
+            new_active,
+            available_from=boundary + self.warm_spares.promotion_latency,
+        )
+        self._promoted.add(spare)
+        self.telemetry.record_scale_event(
+            ScaleEvent(
+                time=boundary,
+                action="promote",
+                server=spare,
+                active_after=len(new_active),
+                reason=(
+                    f"warm spare for crashed server {crashed} "
+                    f"[{self.topology.domain_of(crashed)}]"
+                ),
+            )
+        )
+        return True
+
+    def _demote_spare(self, boundary: float) -> None:
+        """Return the slowest promoted spare to the reserve pool."""
+        active = self.engine.active_servers
+        candidates = sorted(
+            (s for s in self._promoted if s in active),
+            key=lambda s: (self.specs[s].speed, s),
+        )
+        if not candidates:
+            return
+        spare = candidates[0]
+        new_active = [s for s in active if s != spare]
+        self.engine.set_active_servers(new_active)
+        if self.migration is not None:
+            # Graceful drain: dispatched-but-unstarted work re-places
+            # elsewhere instead of waiting out the spare's backlog.
+            self.engine.preempt_server(
+                spare,
+                boundary,
+                policy=self.migration,
+                kill_running=False,
+                checkpoint=self.checkpoint,
+            )
+        self._promoted.discard(spare)
+        self.telemetry.record_scale_event(
+            ScaleEvent(
+                time=boundary,
+                action="demote",
+                server=spare,
+                active_after=len(new_active),
+                reason="primary recovered; spare returns to reserve",
+            )
+        )
 
     def _floor_blocked(self, server: int, remaining: set) -> bool:
         """Would parking ``server`` drop a model below its affinity floor?
@@ -768,8 +1226,8 @@ class ClusterEngine:
         autoscaler can never scale a model's last server to zero);
         ``model_floors`` overrides per model.
         """
-        placer = self.engine.placer
-        if not isinstance(placer, ModelAffinityPlacer):
+        placer = self._affinity_placer()
+        if placer is None:
             return False
         floors = (
             self.model_floors
@@ -783,6 +1241,37 @@ class ClusterEngine:
                     1 for other in remaining if other in allowed and other != server
                 )
                 if left < floor:
+                    return True
+        return False
+
+    def _domain_blocked(self, server: int, remaining: set) -> bool:
+        """Would parking ``server`` drop failure-domain diversity too low?
+
+        With ``min_domains`` set, scale-down keeps the active set — and each
+        affinity model's active subset — spread over at least that many
+        failure domains (clamped to however many domains actually exist), so
+        the autoscaler can never concentrate a model into one zone.
+        """
+        if self.min_domains is None:
+            return False
+        topology = self.topology
+        left = {
+            topology.domain_of(other) for other in remaining if other != server
+        }
+        if len(left) < min(self.min_domains, topology.num_domains):
+            return True
+        placer = self._affinity_placer()
+        if placer is not None:
+            for allowed in placer.affinity.values():
+                if server not in allowed:
+                    continue
+                model_left = {
+                    topology.domain_of(other)
+                    for other in remaining
+                    if other in allowed and other != server
+                }
+                model_total = {topology.domain_of(s) for s in allowed}
+                if len(model_left) < min(self.min_domains, len(model_total)):
                     return True
         return False
 
@@ -805,15 +1294,35 @@ class ClusterEngine:
             f"window {window}: depth={stats.mean_queue_depth:.1f}, "
             f"p99={p99}, drops={stats.drops}"
         )
+        predicted = getattr(self.autoscaler, "last_reason", "")
+        if predicted:
+            reason = f"{reason}; {predicted}"
         order = sorted(
             range(len(self.specs)), key=lambda s: (-self.specs[s].speed, s)
         )
         if target > len(active):
             # Only healthy servers can be woken: a crashed one stays parked
-            # until its recovery fault flips it back.
+            # until its recovery fault flips it back.  Reserve warm spares
+            # stay parked for crash promotion — ordinary load never eats
+            # the crash budget.
             parked = [
-                s for s in order if s not in active and self.specs[s].available
+                s
+                for s in order
+                if s not in active
+                and self.specs[s].available
+                and (s not in self._spare_ids or s in self._promoted)
             ]
+            if self.min_domains is not None:
+                # Prefer waking under-represented domains, so scale-up
+                # rebuilds diversity before it adds depth.
+                presence = {
+                    domain: 0 for domain in self.topology.domains
+                }
+                for s in active:
+                    presence[self.topology.domain_of(s)] += 1
+                parked.sort(
+                    key=lambda s: presence[self.topology.domain_of(s)]
+                )
             added = parked[: target - len(active)]
             if not added:
                 return
@@ -840,6 +1349,8 @@ class ClusterEngine:
                     break
                 if self._floor_blocked(server, remaining):
                     continue
+                if self._domain_blocked(server, remaining):
+                    continue
                 removed.append(server)
                 remaining.discard(server)
             if not removed:
@@ -852,7 +1363,11 @@ class ClusterEngine:
                 # instead of waiting out the drain.
                 if self.migration is not None:
                     self.engine.preempt_server(
-                        server, boundary, policy=self.migration, kill_running=False
+                        server,
+                        boundary,
+                        policy=self.migration,
+                        kill_running=False,
+                        checkpoint=self.checkpoint,
                     )
                 self.telemetry.record_scale_event(
                     ScaleEvent(

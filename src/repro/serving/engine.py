@@ -467,6 +467,11 @@ class _Session:
         # Per-slot move counts and the run total (resilience accounting).
         self.migrations: Dict[int, int] = {}
         self.migrated = 0
+        # Per-slot checkpointed progress fraction (partial-batch
+        # checkpointing; see preempt_server).  Empty on the default paths —
+        # _execute only looks at it when non-empty, keeping the seed
+        # arithmetic untouched.
+        self.checkpoints: Dict[int, float] = {}
         self.dropped = 0
         self.free_at: List[float] = [0.0] * num_servers
         self.busy: List[float] = [0.0] * num_servers
@@ -819,6 +824,7 @@ class ServingEngine:
         time: float,
         policy=None,
         kill_running: bool = True,
+        checkpoint=None,
     ):
         """Rewind a server's unfinished batches and migrate their requests.
 
@@ -827,6 +833,14 @@ class ServingEngine:
         running batch dies too, its partial work wasted) or is gracefully
         deactivated (``kill_running=False`` — the running batch finishes,
         only batches that have not *started* by ``time`` are rewound).
+
+        ``checkpoint`` (a :class:`~repro.serving.resilience.
+        CheckpointPolicy`) optionally records how much of a *running* killed
+        batch's service had been checkpointed by ``time``: each victim keeps
+        that fraction as surviving progress (compounding across repeated
+        migrations), and when a cohort re-executes, the batch's service time
+        shrinks to its largest residual demand — resumed work is not redone,
+        though one fresh rider still costs the full batch.
 
         Every rewound batch is removed from the run's records, its requests'
         latencies/responses un-written and its telemetry contribution
@@ -875,6 +889,21 @@ class ServingEngine:
             # Busy time up to the kill point stays billed (wasted work);
             # service the server would have done after it is rewound.
             s.busy[server] -= record.finish - max(record.start, time)
+            if checkpoint is not None and record.start < time:
+                fraction = float(checkpoint.completed_fraction(record, time))
+                if not 0.0 <= fraction < 1.0:
+                    raise ValueError(
+                        "checkpoint completed_fraction must be in [0, 1); "
+                        f"got {fraction!r}"
+                    )
+                if fraction > 0.0:
+                    for slot in slots:
+                        slot = int(slot)
+                        done = s.checkpoints.get(slot, 0.0)
+                        # Progress compounds: a re-migrated request already
+                        # resumed from `done`, so the new checkpoints cover
+                        # a fraction of the *residual* work only.
+                        s.checkpoints[slot] = done + (1.0 - done) * fraction
             if self.telemetry is not None:
                 deadline_total, deadline_met = self._deadline_counts(
                     s, slots, record.finish
@@ -925,6 +954,7 @@ class ServingEngine:
                     s.request_objs[slot] if s.request_objs is not None else None
                 ),
                 migrations=s.migrations.get(slot, 0),
+                progress=s.checkpoints.get(slot, 0.0),
             )
             for slot in migrant_slots
         ]
@@ -1288,6 +1318,19 @@ class ServingEngine:
         )
         execution = endpoint.executors[server].execute(batch, endpoint.mode, ratio)
         service_time = float(execution.service_time)
+        if s.checkpoints:
+            # Partial-batch checkpointing: a batch executes its members'
+            # remaining steps jointly, so the cohort pays its *largest*
+            # residual demand (a single fresh member costs the full batch).
+            # Consumed either way — re-running from scratch voids the saved
+            # progress just as resuming does.
+            residual = 0.0
+            for slot in slots:
+                residual = max(
+                    residual, 1.0 - s.checkpoints.pop(int(slot), 0.0)
+                )
+            if residual < 1.0:
+                service_time *= residual
         # Record the ratio the batch actually ran at, which executors may
         # override (mode pinning); metrics built on batch_ratios must
         # reflect executed configurations, not requested ones.
@@ -1329,6 +1372,9 @@ class ServingEngine:
         """Expire ``slots`` (waited beyond ``drop_after``) at time ``start``."""
         s.dropped += len(slots)
         s.latencies[slots] = np.nan
+        if s.checkpoints:
+            for slot in slots:
+                s.checkpoints.pop(int(slot), None)
         if self.telemetry is not None:
             misses = 0
             if s.request_objs is not None:

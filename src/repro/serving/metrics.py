@@ -90,8 +90,11 @@ def summarize_migrations(responses) -> Dict[str, float]:
     ``migrated_requests`` since a request can migrate repeatedly), and how
     the migrants ended: re-served (``served_after_migration``) or dropped
     after the move (``dropped_after_migration``).  All values are floats
-    for symmetry with the other summaries.
+    for symmetry with the other summaries.  ``None`` (a run without recorded
+    responses) and the empty list both summarize to all-zeros.
     """
+    if responses is None:
+        responses = ()
     moved = [r for r in responses if r is not None and r.migrations > 0]
     return {
         "migrated_requests": float(len(moved)),

@@ -26,6 +26,13 @@ Four disciplines ship with the engine:
 * :class:`ModelAffinityPlacer` — partitioned / affinity placement: each model
   is restricted to a subset of servers (e.g. models pinned to the accelerators
   holding their weights), with any placer as the rule within the subset.
+* :class:`SpreadPlacer` — failure-domain-aware placement: wraps any placer
+  and steers each batch toward the least-loaded *domain* (zone, falling back
+  to rack, falling back to the server itself — see
+  :class:`~repro.serving.cluster.ClusterTopology`) so replicas of a model's
+  working set spread across domains and a single zone outage cannot strand
+  the whole fleet's backlog.  ``max_domain_share`` optionally hard-bounds how
+  much of the cluster backlog one domain may concentrate.
 * :class:`PredictivePlacer` — telemetry-driven placement: instead of trusting
   nominal speeds, it forecasts each server's service capacity (EWMA over the
   windowed served-per-busy-second rates the
@@ -63,6 +70,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.cluster import ClusterTopology
     from repro.serving.telemetry import TelemetryBus
 
 
@@ -307,6 +315,84 @@ class PredictivePlacer(_SpeedScoredPlacer):
             )
 
         return min(context.active, key=score)
+
+
+class SpreadPlacer:
+    """Failure-domain-aware placement: spread load across zones/racks.
+
+    Groups the active servers by failure domain (``topology.domain_of``),
+    scores each domain by its *mean outstanding backlog per server*
+    (``sum(max(free_at[s] - now, 0)) / len(servers)``), and restricts
+    placement to the least-backlogged domain — ties prefer the domain with
+    more active servers, then the lexically first name, so the choice is
+    deterministic.  Within the chosen domain, ``within`` decides (free-clock
+    by default), so any speed-aware placer becomes spread-aware by wrapping.
+
+    ``max_domain_share`` (in ``(0, 1]``) additionally excludes any domain
+    already holding more than that share of the *total* cluster backlog —
+    a hard anti-concentration bound: even if a domain's per-server backlog
+    looks cheap (it has many servers), it cannot keep absorbing work once
+    it concentrates that fraction of the fleet's outstanding seconds.  The
+    bound is waived when it would exclude every domain (an idle cluster has
+    no backlog to share) and whenever only one domain is active — the
+    placer never stalls the queue.
+    """
+
+    def __init__(
+        self,
+        topology: "ClusterTopology",
+        within: Optional[Placer] = None,
+        max_domain_share: Optional[float] = None,
+    ) -> None:
+        if max_domain_share is not None and not 0 < max_domain_share <= 1:
+            raise ValueError("max_domain_share must be in (0, 1]")
+        self.topology = topology
+        self.within = within if within is not None else FreeClockPlacer()
+        self.max_domain_share = (
+            float(max_domain_share) if max_domain_share is not None else None
+        )
+
+    def place(self, context: PlacementContext) -> int:
+        domains: Dict[str, List[int]] = {}
+        for server in context.active:
+            domains.setdefault(self.topology.domain_of(server), []).append(server)
+        if len(domains) > 1:
+            now = context.time
+            backlog = {
+                name: sum(
+                    max(context.free_at[s] - now, 0.0) for s in servers
+                )
+                for name, servers in domains.items()
+            }
+            candidates = dict(domains)
+            if self.max_domain_share is not None:
+                total = sum(backlog.values())
+                if total > 0:
+                    bounded = {
+                        name: servers
+                        for name, servers in domains.items()
+                        if backlog[name] / total <= self.max_domain_share
+                    }
+                    if bounded:  # waived rather than stalling the queue
+                        candidates = bounded
+            chosen = min(
+                candidates,
+                key=lambda name: (
+                    backlog[name] / len(candidates[name]),
+                    -len(candidates[name]),
+                    name,
+                ),
+            )
+            context = PlacementContext(
+                time=context.time,
+                free_at=context.free_at,
+                active=candidates[chosen],
+                model=context.model,
+                pending=context.pending,
+                batch_hint=context.batch_hint,
+                telemetry=context.telemetry,
+            )
+        return self.within.place(context)
 
 
 class ModelAffinityPlacer:

@@ -31,6 +31,26 @@ lost work.  Three pieces make the serving stack survive faults:
   (:class:`~repro.serving.placement.PredictivePlacer`): windowed telemetry
   trends instead of instantaneous free clocks, which is what notices a
   *degraded* (slowed-down) server whose nominal speed is stale.
+* **Failure domains** — servers carry a ``zone``/``rack`` identity
+  (:class:`~repro.serving.cluster.ServerSpec`, grouped by
+  :class:`~repro.serving.cluster.ClusterTopology`) and faults can be
+  domain-scoped (:data:`DOMAIN_FAULT_KINDS`: ``zone_outage``,
+  ``rack_slowdown``, ...): one schedule event hits every server of the
+  domain at once, expanded per server by :meth:`FaultSchedule.expand` with
+  a ``domain`` tag that follows each event onto the telemetry timeline.
+  Spread placement (:class:`~repro.serving.placement.SpreadPlacer`) and
+  domain-aware autoscaling keep a model's capacity from concentrating in
+  one domain so the correlated loss stays survivable.
+* **Warm spares** — a :class:`WarmSparePool` holds standby servers with
+  pre-replicated executor state out of the ordinary active set; a crash of
+  an active server promotes the fastest healthy reserve spare with only
+  ``promotion_latency`` of activation cost (not the cold ``startup_delay``),
+  so the migrated victims land on restored capacity immediately.
+* **Partial-batch checkpointing** — a :class:`CheckpointPolicy`
+  (:class:`StepCheckpoint`) lets ``preempt_server`` record how much of a
+  killed batch's service had been checkpointed; migrants carry the
+  surviving ``progress`` and a re-executed cohort pays only its largest
+  residual demand instead of restarting from zero.
 
 Everything here is opt-in: an engine that never calls ``preempt_server`` and
 a cluster without a ``fault_schedule`` run the exact seed arithmetic
@@ -59,10 +79,32 @@ from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Protocol, Sequence, TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.serving.engine import Batch, BatchExecution, Executor, Request
+    from repro.serving.engine import (
+        Batch,
+        BatchExecution,
+        BatchRecord,
+        Executor,
+        Request,
+    )
 
 
 FAULT_KINDS = ("crash", "slowdown", "recover")
+
+#: Domain-scoped fault kinds: the whole zone/rack fails, degrades or
+#: recovers at once (correlated failure).  The schedule carries them as
+#: single events; :meth:`FaultSchedule.expand` turns each into per-server
+#: events against a :class:`~repro.serving.cluster.ClusterTopology` at
+#: application time.
+DOMAIN_FAULT_KINDS = (
+    "zone_outage",
+    "zone_slowdown",
+    "zone_recover",
+    "rack_outage",
+    "rack_slowdown",
+    "rack_recover",
+)
+
+_DOMAIN_ACTION = {"outage": "crash", "slowdown": "slowdown", "recover": "recover"}
 
 
 # ----------------------------------------------------------------------
@@ -70,7 +112,7 @@ FAULT_KINDS = ("crash", "slowdown", "recover")
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FaultEvent:
-    """One injected fault against one server.
+    """One injected fault against one server or one failure domain.
 
     ``kind`` is ``"crash"`` (the server fails: it leaves the active set and
     its unfinished work is preempted), ``"slowdown"`` (service times are
@@ -79,23 +121,59 @@ class FaultEvent:
     a crashed server becomes eligible for service again).  ``time`` is the
     simulation time the fault strikes; the control plane applies it at the
     first telemetry window boundary after it.
+
+    Domain-scoped kinds (:data:`DOMAIN_FAULT_KINDS`, e.g. ``"zone_outage"``,
+    ``"rack_slowdown"``) hit every server of a failure domain at once:
+    ``zone``/``rack`` names the domain (``server`` stays at the ``-1``
+    sentinel) and :meth:`FaultSchedule.expand` resolves the event into
+    per-server events whose ``domain`` tag records the correlated origin —
+    the tag every expanded event carries onto the telemetry timeline.
     """
 
     time: float
-    server: int
-    kind: str
+    server: int = -1
+    kind: str = "crash"
     factor: float = 1.0
+    zone: Optional[str] = None
+    rack: Optional[str] = None
+    domain: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
-            raise ValueError(
-                f"unknown fault kind {self.kind!r}; one of {', '.join(FAULT_KINDS)}"
-            )
         if self.time < 0:
             raise ValueError("fault time must be >= 0")
-        if self.server < 0:
-            raise ValueError("fault server must be a server id (>= 0)")
-        if self.kind == "slowdown" and self.factor <= 1.0:
+        if self.kind in FAULT_KINDS:
+            if self.server < 0:
+                raise ValueError(
+                    f"a {self.kind!r} fault must name a server id (>= 0); "
+                    "use a domain kind (e.g. 'zone_outage') for whole-domain "
+                    "faults"
+                )
+            if self.zone is not None or self.rack is not None:
+                raise ValueError(
+                    "server-scoped faults must not name a zone/rack; use a "
+                    "domain kind (e.g. 'zone_outage') instead"
+                )
+        elif self.kind in DOMAIN_FAULT_KINDS:
+            scope, _, _ = self.kind.partition("_")
+            named = self.zone if scope == "zone" else self.rack
+            other = self.rack if scope == "zone" else self.zone
+            if not named:
+                raise ValueError(f"a {self.kind!r} fault must name its {scope}")
+            if other is not None:
+                raise ValueError(
+                    f"a {self.kind!r} fault must name only its {scope}"
+                )
+            if self.server != -1:
+                raise ValueError(
+                    f"a {self.kind!r} fault is domain-scoped; leave server at "
+                    "the -1 sentinel"
+                )
+        else:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of "
+                f"{', '.join(FAULT_KINDS + DOMAIN_FAULT_KINDS)}"
+            )
+        if self.kind.endswith("slowdown") and self.factor <= 1.0:
             raise ValueError("a slowdown needs factor > 1 (service times multiply)")
 
 
@@ -105,12 +183,63 @@ class FaultSchedule:
     The schedule itself is immutable; the control plane keeps its own cursor
     per run, so one schedule can drive any number of (deterministic,
     repeatable) runs.
+
+    Validation rejects scripts that would silently mis-apply at window
+    boundaries: exact duplicate events, two same-instant events against the
+    same server (their application order would be arbitrary), and — on fully
+    server-scoped schedules — a ``recover`` for a server that never crashed
+    or slowed down (a typo'd server id, not a scenario).  Domain-scoped
+    events defer the recover check to :meth:`expand`, where the per-server
+    script is known.
     """
 
     def __init__(self, events: Iterable[FaultEvent]) -> None:
         self.events: Tuple[FaultEvent, ...] = tuple(
-            sorted(events, key=lambda event: (event.time, event.server))
+            sorted(events, key=lambda event: (event.time, event.server, event.kind))
         )
+        self._validate()
+
+    def _validate(self) -> None:
+        seen = set()
+        instants = set()
+        state: dict = {}
+        domain_scoped = False
+        for event in self.events:
+            key = (
+                event.time, event.server, event.kind, event.factor,
+                event.zone, event.rack,
+            )
+            if key in seen:
+                raise ValueError(f"duplicate fault event: {event!r}")
+            seen.add(key)
+            if event.kind in DOMAIN_FAULT_KINDS:
+                domain_scoped = True
+                continue
+            instant = (event.time, event.server)
+            if instant in instants:
+                raise ValueError(
+                    f"two fault events against server {event.server} at "
+                    f"t={event.time:g}; same-instant application order would "
+                    "be arbitrary — separate them in time"
+                )
+            instants.add(instant)
+            if domain_scoped:
+                continue  # per-server sequencing is checked post-expansion
+            if event.kind == "crash":
+                state[event.server] = "failed"
+            elif event.kind == "slowdown":
+                # A slowdown never resurrects a crashed server (the control
+                # plane ignores it until recovery), so "failed" sticks.
+                if state.get(event.server) != "failed":
+                    state[event.server] = "degraded"
+            else:  # recover
+                if state.get(event.server) not in ("failed", "degraded"):
+                    raise ValueError(
+                        f"recover for server {event.server} at "
+                        f"t={event.time:g}, but no earlier crash/slowdown "
+                        "left it unhealthy (typo'd server id?)"
+                    )
+                state[event.server] = "healthy"
 
     def __len__(self) -> int:
         return len(self.events)
@@ -120,8 +249,59 @@ class FaultSchedule:
 
     @property
     def servers(self) -> List[int]:
-        """Server ids the schedule touches (ascending, unique)."""
-        return sorted({event.server for event in self.events})
+        """Server ids the schedule touches directly (ascending, unique).
+
+        Domain-scoped events name no server until :meth:`expand` resolves
+        them against a topology, so they do not appear here.
+        """
+        return sorted(
+            {event.server for event in self.events if event.server >= 0}
+        )
+
+    @property
+    def has_domain_events(self) -> bool:
+        """Whether any event is domain-scoped (needs :meth:`expand`)."""
+        return any(event.kind in DOMAIN_FAULT_KINDS for event in self.events)
+
+    def expand(self, topology) -> "FaultSchedule":
+        """Resolve domain-scoped events into per-server events.
+
+        ``topology`` is a :class:`~repro.serving.cluster.ClusterTopology`;
+        each domain event becomes one event per member server, carrying a
+        ``domain`` tag (``"zone:eu-1"``) so the telemetry timeline shows the
+        correlated origin.  Server-scoped events pass through untouched.
+        The expanded schedule re-validates, so a zone outage colliding with
+        a same-instant server event, or a recover with nothing to recover,
+        fails loudly here instead of mis-applying mid-run.
+        """
+        expanded: List[FaultEvent] = []
+        for event in self.events:
+            if event.kind in FAULT_KINDS:
+                expanded.append(event)
+                continue
+            scope, _, action = event.kind.partition("_")
+            name = event.zone if scope == "zone" else event.rack
+            members = (
+                topology.servers_in_zone(name)
+                if scope == "zone"
+                else topology.servers_in_rack(name)
+            )
+            if not members:
+                raise ValueError(
+                    f"fault schedule names {scope} {name!r}, but the cluster "
+                    f"topology has no server in it"
+                )
+            expanded.extend(
+                FaultEvent(
+                    time=event.time,
+                    server=server,
+                    kind=_DOMAIN_ACTION[action],
+                    factor=event.factor,
+                    domain=f"{scope}:{name}",
+                )
+                for server in members
+            )
+        return FaultSchedule(expanded)
 
     @classmethod
     def single_crash(
@@ -133,6 +313,33 @@ class FaultSchedule:
             if recover_at <= at:
                 raise ValueError("recover_at must come after the crash")
             events.append(FaultEvent(time=recover_at, server=server, kind="recover"))
+        return cls(events)
+
+    @classmethod
+    def zone_outage(
+        cls, zone: str, at: float, recover_at: Optional[float] = None
+    ) -> "FaultSchedule":
+        """A whole zone fails at once (and maybe recovers) — the correlated
+        scenario failure-domain placement exists for."""
+        events = [FaultEvent(time=at, kind="zone_outage", zone=zone)]
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ValueError("recover_at must come after the outage")
+            events.append(FaultEvent(time=recover_at, kind="zone_recover", zone=zone))
+        return cls(events)
+
+    @classmethod
+    def rack_slowdown(
+        cls, rack: str, at: float, factor: float, recover_at: Optional[float] = None
+    ) -> "FaultSchedule":
+        """A whole rack degrades at once (a shared-switch brownout)."""
+        events = [
+            FaultEvent(time=at, kind="rack_slowdown", rack=rack, factor=factor)
+        ]
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ValueError("recover_at must come after the slowdown")
+            events.append(FaultEvent(time=recover_at, kind="rack_recover", rack=rack))
         return cls(events)
 
 
@@ -170,7 +377,11 @@ class Migrant:
     response time, never hides), ``deadline``/``request`` carry scheduler
     metadata when the session has explicit requests (trace sessions migrate
     too, with ``request=None``), and ``migrations`` counts moves *before*
-    this preemption.
+    this preemption.  ``progress`` is the fraction of the request's service
+    already completed and checkpointed (0.0 without a
+    :class:`CheckpointPolicy`): a migrant with ``progress > 0`` resumes with
+    only ``1 - progress`` of its service demand, which migration policies
+    may weigh when planning.
     """
 
     slot: int
@@ -178,6 +389,7 @@ class Migrant:
     deadline: Optional[float] = None
     request: Optional["Request"] = None
     migrations: int = 0
+    progress: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -303,3 +515,89 @@ class DropExpiredMigration:
             if migrant.deadline <= max(float(key), time):
                 keys[index] = None
         return keys
+
+
+# ----------------------------------------------------------------------
+# Partial-batch checkpointing
+# ----------------------------------------------------------------------
+class CheckpointPolicy(Protocol):
+    """How much of a killed batch's work survives the preemption.
+
+    :meth:`completed_fraction` sees the rewound batch's record and the kill
+    time and returns the fraction of the batch's service (in ``[0, 1)``)
+    that was checkpointed before the kill — the work the batch's requests do
+    *not* have to redo.  The engine stores the fraction per victim request
+    and, when a migrated cohort re-executes, scales the batch's service
+    time by the cohort's largest residual demand (a batch runs its members'
+    remaining steps jointly, so one fresh rider costs the full batch).
+    """
+
+    def completed_fraction(self, record: "BatchRecord", time: float) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class StepCheckpoint:
+    """Checkpoint at ``steps`` equally-spaced points through each batch.
+
+    A batch killed ``elapsed`` seconds into a ``span``-second service has
+    crossed ``floor(steps * elapsed / span)`` checkpoints; the fraction of
+    work behind the last crossed checkpoint survives the preemption (the
+    partial step in flight is lost, exactly like an un-checkpointed batch
+    loses everything).  ``steps=1`` checkpoints nothing — the fraction is
+    always 0 — which makes the degenerate policy equivalent to no policy.
+    """
+
+    steps: int = 4
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+
+    def completed_fraction(self, record: "BatchRecord", time: float) -> float:
+        span = record.finish - record.start
+        elapsed = time - record.start
+        if span <= 0 or elapsed <= 0:
+            return 0.0
+        crossed = int(self.steps * min(elapsed / span, 1.0))
+        return min(crossed, self.steps - 1) / self.steps
+
+
+# ----------------------------------------------------------------------
+# Warm spares
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WarmSparePool:
+    """Standby servers the control plane promotes on a crash, lag-free.
+
+    ``spares`` are server ids (of the cluster's spec list) held in reserve:
+    they start parked, the autoscaler never wakes them for ordinary load,
+    and their prepared-kernel/executor state is registered with everything
+    else — pre-replicated, which is what makes promotion cheap.  When a
+    crash removes an *active* server, the
+    :class:`~repro.serving.cluster.ClusterEngine` promotes the fastest
+    healthy reserve spare with ``promotion_latency`` seconds of activation
+    cost instead of the cluster's cold ``startup_delay`` — so migrated
+    victims land on restored capacity instead of waiting out provisioning.
+    Promotions (and demotions, when a recovered server releases its spare
+    back to reserve) are :class:`~repro.serving.telemetry.ScaleEvent`\\ s on
+    the telemetry timeline.
+    """
+
+    spares: Tuple[int, ...]
+    promotion_latency: float = 0.0
+
+    def __init__(
+        self, spares: Sequence[int], promotion_latency: float = 0.0
+    ) -> None:
+        ids = [int(server) for server in spares]
+        if not ids:
+            raise ValueError("a WarmSparePool needs at least one spare server")
+        if len(set(ids)) != len(ids):
+            raise ValueError("spare server ids must be unique")
+        if any(server < 0 for server in ids):
+            raise ValueError("spare server ids must be >= 0")
+        if promotion_latency < 0:
+            raise ValueError("promotion_latency must be >= 0")
+        object.__setattr__(self, "spares", tuple(sorted(ids)))
+        object.__setattr__(self, "promotion_latency", float(promotion_latency))

@@ -57,7 +57,7 @@ class ScaleEvent:
     """One elasticity decision applied at a window boundary."""
 
     time: float
-    action: str              # "add" | "remove"
+    action: str              # "add" | "remove" | "promote" | "demote"
     server: int              # server id activated / deactivated
     active_after: int        # cluster size after the event
     reason: str = ""
@@ -141,6 +141,12 @@ class TelemetryBus:
         self._cells: Dict[Tuple[int, int], _WindowCell] = {}
         self.scale_events: List[ScaleEvent] = []
         self.fault_events: List["FaultEvent"] = []
+        # Unified event timeline: (time, seq, event) for every scale *and*
+        # fault event, in application order (seq).  timeline() sorts by
+        # (time, seq), so interleaved events come back in deterministic
+        # time order even when a fault's strike time precedes the boundary
+        # a scale decision was stamped with.
+        self._timeline: List[Tuple[float, int, object]] = []
         self.last_window = -1
 
     # ------------------------------------------------------------------
@@ -150,6 +156,7 @@ class TelemetryBus:
         self._cells.clear()
         self.scale_events.clear()
         self.fault_events.clear()
+        self._timeline.clear()
         self.last_window = -1
 
     def window_index(self, time: float) -> int:
@@ -231,10 +238,25 @@ class TelemetryBus:
 
     def record_scale_event(self, event: ScaleEvent) -> None:
         self.scale_events.append(event)
+        self._timeline.append((float(event.time), len(self._timeline), event))
 
     def record_fault_event(self, event: "FaultEvent") -> None:
         """Append one applied fault injection to the run timeline."""
         self.fault_events.append(event)
+        self._timeline.append((float(event.time), len(self._timeline), event))
+
+    def timeline(self) -> List[object]:
+        """Every scale *and* fault event, in deterministic time order.
+
+        Sorted by ``(time, application order)``: a fault whose strike time
+        precedes a window boundary sorts before the scale decision stamped
+        at the boundary, and same-instant events keep the order the control
+        plane applied them in — so two runs of the same deterministic
+        workload return the identical interleaving.
+        """
+        return [
+            event for _, _, event in sorted(self._timeline, key=lambda e: e[:2])
+        ]
 
     # ------------------------------------------------------------------
     # Queries

@@ -74,3 +74,16 @@ def test_resilient_cluster_runs_end_to_end():
     # migration really saved it.
     assert "NO" in out and "Migration rescued" in out
     assert "crash server 0" in out and "recover server 0" in out
+
+
+def test_zone_outage_runs_end_to_end():
+    out = run_example("zone_outage.py")
+    assert "Failure domains" in out
+    assert "Zone A outage" in out
+    # The flat single-domain cluster misses the SLO the others meet.
+    assert "NO" in out
+    assert "Warm spares beat cold standby" in out
+    # Warm-spare promotion/demotion landed on the merged timeline with
+    # the crash's failure-domain tag.
+    assert "promote server" in out and "demote server" in out
+    assert "[zone:A]" in out

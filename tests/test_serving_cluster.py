@@ -355,7 +355,7 @@ class TestPlacement:
 
     def test_unknown_named_placer_rejected(self, mixed_specs):
         with pytest.raises(ValueError):
-            ClusterEngine(mixed_specs, placer="spread")
+            ClusterEngine(mixed_specs, placer="round_robin")
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,13 @@ and control-plane hooks:
   crash where the migrating cluster meets the p99 deadline-attainment SLO
   the non-migrating baseline misses; K=1 FIFO stays bit-identical to the
   seed with every resilience feature off.
+* **Correlated failures** — two servers lost in the same window, a second
+  crash landing while the first crash's migrants are still paying their
+  migration delay, and a zone outage taking out every affine server of a
+  model; the conservation invariants hold throughout.
+* **Zone-outage acceptance** — the `examples/zone_outage.py` scenario:
+  spread placement + warm spares meet the deadline-attainment SLO the flat
+  single-domain cluster misses, and beat cold standby on p99.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from repro.serving import (
     RedistributeMigration,
     Request,
     RequeueAtHeadMigration,
+    ServerSpec,
     ServingEngine,
     ServingSimulator,
     WeightedSpeedPlacer,
@@ -889,3 +897,170 @@ class TestAcceptance:
         )
         np.testing.assert_array_equal(result.latencies, seed.latencies)
         assert result.migrated == 0
+
+
+# ----------------------------------------------------------------------
+# Correlated failures (satellite)
+# ----------------------------------------------------------------------
+def _fixed_spec(name, seconds=1.0, zone=""):
+    return ServerSpec(
+        name=name, speed=1000.0, executor=FixedExecutor(seconds), zone=zone
+    )
+
+
+class TestCorrelatedFailures:
+    def test_two_servers_crash_in_the_same_window(self):
+        """Both batches in flight die at one boundary; every victim is
+        re-served exactly once on the survivors."""
+        specs = [_fixed_spec(f"g{i}") for i in range(4)]
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=0.3, server=0, kind="crash"),
+                FaultEvent(time=0.3, server=1, kind="crash"),
+            ]
+        )
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=4),
+            fault_schedule=schedule,
+            migration=RequeueAtHeadMigration(delay=0.1),
+            window=0.25,
+        )
+        cluster.register("m", mode="int8")
+        requests = [
+            Request(arrival_time=0.0, model="m", request_id=i) for i in range(8)
+        ]
+        outcome = cluster.run(requests=requests)
+        assert [(e.time, e.server) for e in outcome.fault_events] == [
+            (0.3, 0),
+            (0.3, 1),
+        ]
+        conserve(outcome.result, 8)
+        assert outcome.result.dropped == 0
+        assert outcome.migrated == 8
+        assert all(
+            r.server in (2, 3)
+            for r in outcome.result.responses
+            if r.migrations > 0
+        )
+
+    def test_crash_during_migration_delay_migrates_twice(self):
+        """A second crash lands on the server that picked up the first
+        crash's migrants — they move again, and nothing is lost or
+        double-served."""
+        specs = [_fixed_spec(f"g{i}") for i in range(4)]
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=0.3, server=0, kind="crash"),
+                FaultEvent(time=1.2, server=2, kind="crash"),
+            ]
+        )
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=4),
+            fault_schedule=schedule,
+            migration=RequeueAtHeadMigration(delay=0.6),
+            window=0.25,
+        )
+        cluster.register("m", mode="int8")
+        requests = [
+            Request(arrival_time=0.0, model="m", request_id=i) for i in range(8)
+        ]
+        outcome = cluster.run(requests=requests)
+        # Batches land on servers 0 and 1 at [0, 1).  Server 0's crash is
+        # applied at the 0.5 boundary; its migrants wait out the 0.6s delay
+        # and restart on idle server 2 at t=0.9 — where the second crash
+        # (applied at 1.25) kills them mid-batch and they move again.
+        conserve(outcome.result, 8)
+        stats = summarize_migrations(outcome.result.responses)
+        assert stats["migrated_requests"] == 4.0
+        assert stats["max_moves"] == 2.0
+        assert stats["moves"] == 8.0
+        assert stats["dropped_after_migration"] == 0.0
+        twice = [r for r in outcome.result.responses if r.migrations == 2]
+        assert {r.server for r in twice} == {3}
+
+    def test_zone_outage_fails_every_affine_server_of_a_model(self):
+        """Zone A holds model "a"'s whole affinity partition.  When the
+        zone dies, the affinity waiver serves "a" on zone B's servers
+        rather than stranding the model."""
+        specs = [
+            _fixed_spec("a0", seconds=0.05, zone="A"),
+            _fixed_spec("a1", seconds=0.05, zone="A"),
+            _fixed_spec("b0", seconds=0.05, zone="B"),
+            _fixed_spec("b1", seconds=0.05, zone="B"),
+        ]
+        placer = ModelAffinityPlacer({"a": [0, 1], "b": [2, 3]})
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=8),
+            placer=placer,
+            fault_schedule=FaultSchedule.zone_outage("A", at=1.0),
+            migration=RequeueAtHeadMigration(delay=0.01),
+            window=0.25,
+        )
+        cluster.register("a", mode="int8")
+        cluster.register("b", mode="int8")
+        trace_a = requests_from_trace(
+            PoissonTrace(300, duration=2.0, seed=1).generate(), model="a"
+        )
+        trace_b = requests_from_trace(
+            PoissonTrace(300, duration=2.0, seed=2).generate(), model="b"
+        )
+        requests = sorted(
+            list(trace_a) + list(trace_b), key=lambda r: r.arrival_time
+        )
+        outcome = cluster.run(requests=requests)
+        conserve(outcome.result, len(requests))
+        assert outcome.result.dropped == 0
+        assert outcome.migrated > 0
+        # Model "a" work after the outage boundary runs on zone B only.
+        late_a = [
+            r
+            for r in outcome.result.batch_records
+            if r.model == "a" and r.start >= 1.25
+        ]
+        assert late_a
+        assert {r.server for r in late_a} <= {2, 3}
+
+
+# ----------------------------------------------------------------------
+# Zone-outage acceptance: the failure-domain example scenario
+# ----------------------------------------------------------------------
+def _load_zone_example():
+    path = Path(__file__).resolve().parent.parent / "examples" / "zone_outage.py"
+    spec = importlib.util.spec_from_file_location("zone_outage", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestZoneOutageAcceptance:
+    def test_warm_spares_meet_slo_flat_cluster_misses(self):
+        """ISSUE 6 acceptance: a zone outage on the spread-placed,
+        warm-spared cluster meets the deadline-attainment SLO the PR 5
+        single-domain cluster misses — and beats cold standby on p99
+        (promotion latency vs provisioning lag)."""
+        example = _load_zone_example()
+        outcomes = example.outage_scenario()
+        target = example.ATTAINMENT_TARGET
+        flat = outcomes["flat (single-domain)"]
+        cold = outcomes["cold standby"]
+        warm = outcomes["spread + warm spares"]
+        assert outcomes["no fault"].deadline_attainment() == 1.0
+        assert flat.deadline_attainment() < target            # the miss
+        assert warm.deadline_attainment() >= target           # the save
+        assert cold.deadline_attainment() >= target
+        # Warm promotion (no provisioning lag) strictly beats cold scale-up.
+        assert warm.p99_latency < cold.p99_latency
+        # Both zone-A servers were covered by promoted spares, and the
+        # spares were demoted once the zone recovered.
+        assert [e.server for e in warm.promotions] == [4, 5]
+        demotes = [e for e in warm.scale_events if e.action == "demote"]
+        assert [e.server for e in demotes] == [4, 5]
+        assert all(e.time > example.RECOVER_AT for e in demotes)
+        # Nothing lost, nothing served twice, in any deployment.
+        for outcome in outcomes.values():
+            conserve(outcome.result, outcome.result.request_latencies.size)
+            assert outcome.result.dropped == 0
