@@ -49,6 +49,14 @@ SLO; reactive cold standby meets it but pays the provisioning lag; spread
 placement + warm spares meet it with the lowest p99 (promotion latency
 only).  Deterministic, so the gates are exact.
 
+A ``continuous_batching`` section exercises the PR 7 generation subsystem
+on the exact ``examples/continuous_batching.py`` scenario (imported, same
+no-drift rule): a mixed prompt-/generation-length trace served by static
+run-to-completion batching and by the iteration-level scheduler.
+Continuous batching must beat static on both TTFT p99 and tokens/sec, and
+the decode-pressure ratio policy must switch precision mid-sequence.
+Modeled costs with a fixed trace seed, so these gates are exact too.
+
 Run it directly (finishes well under 60 s with a warm pretrain cache)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
@@ -443,6 +451,64 @@ def bench_failure_domains() -> dict:
     }
 
 
+def bench_continuous_batching() -> dict:
+    """Iteration-level scheduling vs run-to-completion (PR 7 generation).
+
+    Runs the ``examples/continuous_batching.py`` scenario verbatim: a mixed
+    prompt-/generation-length Poisson trace on one modeled A6000 server,
+    served by static admit-once batching and by the continuous
+    ``IterationScheduler`` (FCFS, prefill-priority, and prefill-priority
+    with the decode-pressure mid-sequence precision policy).  The gate is
+    the headline claim: continuous beats static on **both** TTFT p99 and
+    tokens/sec on the identical trace.
+    """
+    import importlib.util
+
+    path = ROOT / "examples" / "continuous_batching.py"
+    spec = importlib.util.spec_from_file_location("continuous_batching_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    outcomes = module.generation_scenario()
+
+    def row(result):
+        stream = result.streaming((50, 99))
+        return {
+            "requests": len(result.responses),
+            "tokens": int(result.tokens),
+            "tokens_per_sec": round(stream["tokens_per_sec"], 2),
+            "ttft_p50_ms": round(stream["ttft_p50"] * 1e3, 3),
+            "ttft_p99_ms": round(stream["ttft_p99"] * 1e3, 3),
+            "inter_token_p99_ms": round(stream["inter_token_p99"] * 1e3, 3),
+            "makespan_s": round(result.duration, 4),
+            "iterations": len(result.iterations),
+        }
+
+    static = outcomes["run-to-completion"]
+    continuous = outcomes["continuous (fcfs)"]
+    adaptive = outcomes["continuous (decode-pressure int4)"]
+    static_stream = static.streaming((99,))
+    continuous_stream = continuous.streaming((99,))
+    return {
+        "model": "vit_base",
+        "rate": module.RATE,
+        "max_batch": module.MAX_BATCH,
+        "prompt_tokens": list(module.PROMPT_TOKENS),
+        "new_tokens": list(module.NEW_TOKENS),
+        "static": row(static),
+        "continuous": row(continuous),
+        "prefill_priority": row(outcomes["continuous (prefill-priority)"]),
+        "decode_pressure": row(adaptive),
+        "ratio_switches": int(module.ratio_switches(adaptive)),
+        "ttft_p99_speedup": round(
+            static_stream["ttft_p99"] / continuous_stream["ttft_p99"], 3
+        ),
+        "throughput_speedup": round(
+            continuous_stream["tokens_per_sec"] / static_stream["tokens_per_sec"],
+            3,
+        ),
+    }
+
+
 def bench_model(name: str, reps: int = 20) -> dict:
     runtime, dataset = build_runtime(name)
     x = Tensor(dataset.train_images[:BATCH])
@@ -476,6 +542,7 @@ SUMMARY_SECTIONS = (
     "heterogeneous_placement",
     "fault_tolerance",
     "failure_domains",
+    "continuous_batching",
 )
 
 
@@ -578,6 +645,27 @@ def render(results: dict) -> str:
             f"{'':>12} | warm promotion beats cold provisioning by "
             f"{domains['warm_p99_advantage_ms']:.0f} ms p99"
         )
+    generation = results.get("continuous_batching")
+    if generation:
+        lines.append("")
+        lines.append(
+            f"Continuous batching -- {generation['rate']} gen req/s, prompts "
+            f"{min(generation['prompt_tokens'])}-{max(generation['prompt_tokens'])} "
+            f"tokens, max_batch {generation['max_batch']}"
+        )
+        for name in ("static", "continuous", "prefill_priority", "decode_pressure"):
+            row = generation[name]
+            lines.append(
+                f"{name:>16} | {row['tokens_per_sec']:>8.1f} tok/s | "
+                f"ttft p99 {row['ttft_p99_ms']:>8.2f} ms | "
+                f"inter-tok p99 {row['inter_token_p99_ms']:>6.2f} ms | "
+                f"makespan {row['makespan_s']:.2f} s"
+            )
+        lines.append(
+            f"{'':>16} | continuous beats static {generation['ttft_p99_speedup']:.2f}x "
+            f"ttft p99, {generation['throughput_speedup']:.2f}x tokens/sec; "
+            f"{generation['ratio_switches']} mid-sequence ratio switches"
+        )
     return "\n".join(lines)
 
 
@@ -588,6 +676,7 @@ def main() -> dict:
     results["heterogeneous_placement"] = bench_heterogeneous_placement()
     results["fault_tolerance"] = bench_fault_tolerance()
     results["failure_domains"] = bench_failure_domains()
+    results["continuous_batching"] = bench_continuous_batching()
     results["meta"] = {
         "benchmark": "prepared_kernels",
         "models": list(MODELS),

@@ -43,6 +43,13 @@ scenario: a zone outage (two of four active servers at once) must cost the
 flat single-domain cluster the deadline-attainment SLO, while spread
 placement + warm spares meet it — and beat reactive cold standby on p99
 (promotion latency vs provisioning lag).  Exact and deterministic.
+
+PR 7 adds the continuous-batching gate on the
+``examples/continuous_batching.py`` scenario: on a mixed prompt-/generation-
+length trace, iteration-level scheduling must beat static run-to-completion
+batching on **both** TTFT p99 and tokens/sec, and the decode-pressure
+policy must actually switch precision mid-sequence.  Exact and
+deterministic (modeled costs, fixed trace seed).
 """
 
 from __future__ import annotations
@@ -170,10 +177,28 @@ def test_prepared_kernel_speedup(benchmark, results_writer):
         assert domains[name]["lost"] == 0
     assert domains["warm_spares"]["migrated"] > 0
 
+    # Continuous batching: iteration-level scheduling must beat static
+    # run-to-completion on BOTH streaming axes on the identical trace (the
+    # PR 7 generation gate; exact, modeled costs + fixed trace seed).
+    generation = results["continuous_batching"]
+    static, continuous = generation["static"], generation["continuous"]
+    assert continuous["ttft_p99_ms"] < static["ttft_p99_ms"]
+    assert continuous["tokens_per_sec"] > static["tokens_per_sec"]
+    assert generation["ttft_p99_speedup"] > 1.0
+    assert generation["throughput_speedup"] > 1.0
+    # Conservation: both schedules generate every requested token.
+    assert continuous["tokens"] == static["tokens"] > 0
+    assert continuous["requests"] == static["requests"] > 0
+    # Continuous batching runs many small iterations, not a few big batches.
+    assert continuous["iterations"] > static["iterations"]
+    # The decode-pressure policy really switches precision mid-sequence.
+    assert generation["ratio_switches"] > 0
+
     # The JSON artifact tracks the perf trajectory from this PR onward.
     stored = json.loads(perf_smoke.RESULTS_PATH.read_text())
     assert stored["meta"]["benchmark"] == "prepared_kernels"
     assert "heterogeneous_placement" in stored
     assert "fault_tolerance" in stored
     assert "failure_domains" in stored
+    assert "continuous_batching" in stored
     results_writer("prepared_kernels", perf_smoke.render(results))

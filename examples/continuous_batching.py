@@ -1,0 +1,179 @@
+"""Continuous batching vs run-to-completion on a mixed generation trace.
+
+A single A6000-class server serves an autoregressive trace with *mixed*
+prompt lengths and generation lengths (short chatty requests interleaved
+with long-prompt, long-output ones) — the workload shape that breaks
+static batching.  Four deployments see the identical Poisson trace:
+
+1. **run-to-completion** — classic static batching: a FIFO batch is
+   admitted once, every member prefills, then the batch decodes at full
+   width until the *longest* member finishes.  Early finishers pad their
+   slots (wasted decode width), and a prompt that arrives mid-batch waits
+   for the whole batch before its first token (head-of-line TTFT).
+2. **continuous (FCFS)** — the :class:`~repro.serving.generation.
+   IterationScheduler`: finished sequences retire and queued prompts join
+   at every decode-iteration boundary.  Same FIFO fairness, no padding,
+   no batch-granular head-of-line blocking.
+3. **continuous (prefill-priority)** — admission prefers the shortest
+   waiting prompt, bounding the prefill stall each boundary inserts.
+4. **continuous + decode-pressure ratio** — a
+   :class:`~repro.serving.policies.DecodePressureRatioPolicy` watches the
+   per-iteration generation context (tokens in flight + queued prefill
+   work) and switches the running batch to the 4-bit plane *mid-sequence*
+   when pressure is high — an O(1) prepared-kernel ratio flip, no rebuild.
+
+The comparison is the headline claim of iteration-level scheduling:
+continuous batching beats run-to-completion on **both** TTFT p99 (admission
+happens at iteration boundaries, not batch boundaries) **and** tokens/sec
+(no padded decode steps), on the same trace and the same cost model.
+
+Run with:  python examples/continuous_batching.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.data.traces import PoissonTrace
+from repro.serving import (
+    DecodePressureRatioPolicy,
+    FcfsAdmission,
+    IterationScheduler,
+    ModeledGenerationBackend,
+    PrefillPriorityAdmission,
+    ServiceTimeModel,
+    requests_from_trace,
+    run_to_completion,
+)
+
+RATE = 120                   # generation requests per second (Poisson)
+DURATION = 2.0               # trace horizon (seconds)
+MAX_BATCH = 8                # batch width cap (both deployments)
+SEED = 7
+PROMPT_TOKENS = (32, 512, 96, 256)    # mixed prompt lengths (round-robin)
+NEW_TOKENS = (96, 8, 160, 16)         # mixed generation lengths
+DECODE_FRACTION = 0.05       # decode-step cost vs one-shot forward
+PRESSURE_THRESHOLD = 900     # tokens in flight before the int4 switch
+
+
+def build_requests(duration: float = DURATION, rate: float = RATE, seed: int = SEED):
+    trace = PoissonTrace(rate, duration=duration, seed=seed).generate()
+    return requests_from_trace(
+        trace,
+        model="m",
+        prefill_tokens=list(PROMPT_TOKENS),
+        max_new_tokens=list(NEW_TOKENS),
+    )
+
+
+def build_backend():
+    return ModeledGenerationBackend(
+        ServiceTimeModel(
+            "vit_base", gpu="a6000", decode_token_fraction=DECODE_FRACTION
+        )
+    )
+
+
+def run_static(requests=None):
+    return run_to_completion(
+        requests if requests is not None else build_requests(),
+        build_backend(),
+        max_batch=MAX_BATCH,
+    )
+
+
+def run_continuous(requests=None, admission=None, policy=None):
+    scheduler = IterationScheduler(
+        build_backend(),
+        max_batch=MAX_BATCH,
+        admission=admission,
+        policy=policy,
+    )
+    return scheduler.run(requests if requests is not None else build_requests())
+
+
+def ratio_switches(result):
+    """Mid-run precision switches: ratio changes between iterations."""
+    ratios = [record.ratio for record in result.iterations]
+    return sum(1 for a, b in zip(ratios, ratios[1:]) if a != b)
+
+
+def generation_scenario(requests=None):
+    """All deployments on the same trace (reused by tests and benchmarks)."""
+    if requests is None:
+        requests = build_requests()
+    return {
+        "run-to-completion": run_static(requests),
+        "continuous (fcfs)": run_continuous(requests, admission=FcfsAdmission()),
+        "continuous (prefill-priority)": run_continuous(
+            requests, admission=PrefillPriorityAdmission()
+        ),
+        "continuous (decode-pressure int4)": run_continuous(
+            requests,
+            admission=PrefillPriorityAdmission(),
+            policy=DecodePressureRatioPolicy(
+                pressure_threshold=PRESSURE_THRESHOLD, waiting_weight=64.0
+            ),
+        ),
+    }
+
+
+def main() -> None:
+    requests = build_requests()
+    total_new = sum(r.max_new_tokens for r in requests)
+    print(
+        f"Continuous batching: {len(requests)} generation requests "
+        f"({RATE}/s Poisson over {DURATION:.0f}s), prompts "
+        f"{min(PROMPT_TOKENS)}-{max(PROMPT_TOKENS)} tokens, "
+        f"{min(NEW_TOKENS)}-{max(NEW_TOKENS)} new tokens "
+        f"({total_new} tokens total), one A6000-class server, "
+        f"max_batch={MAX_BATCH}"
+    )
+
+    outcomes = generation_scenario(requests)
+    rows = []
+    for label, result in outcomes.items():
+        stream = result.streaming((50, 99))
+        rows.append(
+            [
+                label,
+                stream["ttft_p50"] * 1e3,
+                stream["ttft_p99"] * 1e3,
+                stream["inter_token_p99"] * 1e3,
+                stream["tokens_per_sec"],
+                result.duration,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "deployment",
+                "ttft p50 (ms)",
+                "ttft p99 (ms)",
+                "inter-tok p99 (ms)",
+                "tokens/sec",
+                "makespan (s)",
+            ],
+            rows,
+            precision=2,
+        )
+    )
+
+    static = outcomes["run-to-completion"].streaming((99,))
+    continuous = outcomes["continuous (fcfs)"].streaming((99,))
+    print(
+        f"   Continuous batching beats run-to-completion on both axes: "
+        f"TTFT p99 {continuous['ttft_p99'] * 1e3:.0f}ms vs "
+        f"{static['ttft_p99'] * 1e3:.0f}ms, throughput "
+        f"{continuous['tokens_per_sec']:.0f} vs "
+        f"{static['tokens_per_sec']:.0f} tokens/sec."
+    )
+    switches = ratio_switches(outcomes["continuous (decode-pressure int4)"])
+    print(
+        f"   Decode-pressure policy made {switches} mid-sequence precision "
+        f"switches (>= {PRESSURE_THRESHOLD} tokens in flight -> 4-bit plane), "
+        f"each an O(1) prepared-kernel ratio flip."
+    )
+
+
+if __name__ == "__main__":
+    main()

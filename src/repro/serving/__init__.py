@@ -100,6 +100,22 @@ from repro.serving.cluster import (
     npu_server,
 )
 from repro.serving.executors import ModeledExecutor, RuntimeExecutor
+from repro.serving.generation import (
+    AdmissionPolicy,
+    FcfsAdmission,
+    GenerationBackend,
+    GenerationPreemption,
+    GenerationResponse,
+    GenerationResult,
+    IterationRecord,
+    IterationScheduler,
+    ModeledGenerationBackend,
+    PrefillPriorityAdmission,
+    RuntimeGenerationBackend,
+    SequenceState,
+    TokenBudgetAdmission,
+    run_to_completion,
+)
 from repro.serving.placement import (
     FreeClockPlacer,
     LeastOutstandingWorkPlacer,
@@ -126,7 +142,9 @@ from repro.serving.resilience import (
 )
 from repro.serving.policies import (
     AdaptiveRatioPolicy,
+    DecodePressureRatioPolicy,
     FixedRatioPolicy,
+    GenerationStepContext,
     PerServerAdaptiveRatioPolicy,
     PolicyContext,
     QueueDepthRatioPolicy,
@@ -145,6 +163,7 @@ from repro.serving.schedulers import (
     FifoScheduler,
     PriorityScheduler,
     Scheduler,
+    admission_key,
 )
 from repro.serving.simulator import (
     ServiceTimeModel,
@@ -155,6 +174,7 @@ from repro.serving.metrics import (
     attainment_within,
     latency_percentiles,
     slo_attainment,
+    streaming_summary,
     summarize_latencies,
     summarize_migrations,
 )
@@ -164,6 +184,7 @@ __all__ = [
     "AdaptiveRatioPolicy",
     "AdaptiveServingResult",
     "AdaptiveServingSimulator",
+    "AdmissionPolicy",
     "Autoscaler",
     "Batch",
     "BatchExecution",
@@ -174,6 +195,7 @@ __all__ = [
     "ClusterResult",
     "ClusterTopology",
     "ClusterWindowStats",
+    "DecodePressureRatioPolicy",
     "DegradableExecutor",
     "DropExpiredMigration",
     "EdfScheduler",
@@ -181,14 +203,23 @@ __all__ = [
     "Executor",
     "FaultEvent",
     "FaultSchedule",
+    "FcfsAdmission",
     "FifoScheduler",
     "FixedRatioPolicy",
     "FreeClockPlacer",
+    "GenerationBackend",
+    "GenerationPreemption",
+    "GenerationResponse",
+    "GenerationResult",
+    "GenerationStepContext",
+    "IterationRecord",
+    "IterationScheduler",
     "LeastOutstandingWorkPlacer",
     "Migrant",
     "MigrationPolicy",
     "ModelAffinityPlacer",
     "ModeledExecutor",
+    "ModeledGenerationBackend",
     "PerServerAdaptiveRatioPolicy",
     "Placer",
     "PlacementContext",
@@ -196,6 +227,7 @@ __all__ = [
     "Preemption",
     "PredictiveFaultAutoscaler",
     "PredictivePlacer",
+    "PrefillPriorityAdmission",
     "PriorityScheduler",
     "QueueDepthAutoscaler",
     "QueueDepthRatioPolicy",
@@ -207,8 +239,10 @@ __all__ = [
     "Response",
     "RoundRobinRatioPolicy",
     "RuntimeExecutor",
+    "RuntimeGenerationBackend",
     "ScaleEvent",
     "Scheduler",
+    "SequenceState",
     "ServerSpec",
     "ServerWindowStats",
     "ServiceTimeModel",
@@ -219,15 +253,19 @@ __all__ = [
     "SpreadPlacer",
     "StepCheckpoint",
     "TelemetryBus",
+    "TokenBudgetAdmission",
     "WarmSparePool",
     "WeightedSpeedPlacer",
+    "admission_key",
     "attainment_within",
     "gpu_server",
     "latency_percentiles",
     "npu_server",
     "policy_selector",
     "requests_from_trace",
+    "run_to_completion",
     "slo_attainment",
+    "streaming_summary",
     "summarize_latencies",
     "summarize_migrations",
 ]

@@ -162,6 +162,7 @@ class ServerSpec:
         mode: str = "int8",
         ratio: float = 0.0,
         residual: float = 1.0,
+        transfer: float = 0.0,
     ) -> float:
         """Estimated service seconds for one batch (speed fallback without
         a service model).
@@ -169,13 +170,21 @@ class ServerSpec:
         ``residual`` scales the estimate for partially-checkpointed work: a
         migrated cohort whose largest surviving demand is ``1 - progress``
         costs only that fraction of the full batch (see
-        :class:`~repro.serving.resilience.CheckpointPolicy`).
+        :class:`~repro.serving.resilience.CheckpointPolicy`).  ``transfer``
+        adds the cohort's checkpoint-restore seconds on top (see
+        :meth:`~repro.serving.resilience.StepCheckpoint.restore_seconds`) —
+        a migrated batch is cheap to *re-execute* but not free to *land*.
         """
         if not 0 < residual <= 1:
             raise ValueError("residual must be in (0, 1]")
+        if transfer < 0:
+            raise ValueError("transfer must be >= 0 seconds")
         if self.service_model is not None:
-            return self.service_model.batch_latency(batch_size, mode, ratio) * residual
-        return batch_size / self.speed * residual
+            return (
+                self.service_model.batch_latency(batch_size, mode, ratio) * residual
+                + transfer
+            )
+        return batch_size / self.speed * residual + transfer
 
 
 def _measured_speed(
@@ -1142,15 +1151,19 @@ class ClusterEngine:
         self.telemetry.record_fault_event(event)
 
     def _promote_spare(self, crashed: int, boundary: float) -> bool:
-        """Activate the fastest healthy reserve spare for a crashed server.
+        """Activate a healthy reserve spare for a crashed server.
 
-        Promotion bypasses the cold ``startup_delay``: the spare's executor
-        state is pre-replicated, so it becomes serviceable after only the
-        pool's ``promotion_latency``.  Returns False when the reserve is
-        exhausted (every spare promoted, crashed or already active) — the
-        ordinary emergency path then takes over.
+        Promotion is topology-aware: spares *outside* the crashed server's
+        failure domain are preferred (a spare sharing the failed zone is one
+        power/network event from dying with its promotion), tie-broken by
+        speed, then id.  Promotion bypasses the cold ``startup_delay``: the
+        spare's executor state is pre-replicated, so it becomes serviceable
+        after only the pool's ``promotion_latency``.  Returns False when the
+        reserve is exhausted (every spare promoted, crashed or already
+        active) — the ordinary emergency path then takes over.
         """
         active = self.engine.active_servers
+        failed_domain = self.topology.domain_of(crashed)
         candidates = sorted(
             (
                 s
@@ -1160,7 +1173,11 @@ class ClusterEngine:
                 and s != crashed
                 and self.specs[s].available
             ),
-            key=lambda s: (-self.specs[s].speed, s),
+            key=lambda s: (
+                self.topology.domain_of(s) == failed_domain,
+                -self.specs[s].speed,
+                s,
+            ),
         )
         if not candidates:
             return False

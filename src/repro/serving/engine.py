@@ -117,6 +117,15 @@ class Request:
     ``priority`` (higher serves first) and ``deadline`` (absolute time by
     which the response should finish) are read by the non-FIFO schedulers;
     FIFO ignores both.
+
+    The *generation profile* — ``prefill_tokens`` (prompt length) and
+    ``max_new_tokens`` (the stop condition: how many tokens to generate,
+    counting the one the prefill emits) — is read only by the
+    iteration-level :class:`~repro.serving.generation.IterationScheduler`;
+    the one-shot batch engine ignores both, so non-generative runs are
+    untouched.  ``max_new_tokens=0`` (the default) marks a non-generative
+    request; ``max_new_tokens=1`` is a prefill-only request (first token,
+    zero decode steps).
     """
 
     arrival_time: float
@@ -125,6 +134,8 @@ class Request:
     payload: Optional[np.ndarray] = None
     priority: int = 0
     deadline: Optional[float] = None
+    prefill_tokens: int = 0
+    max_new_tokens: int = 0
 
 
 @dataclass
@@ -379,6 +390,8 @@ def requests_from_trace(
     payloads: Optional[Sequence[np.ndarray]] = None,
     priorities: Optional[Sequence[int]] = None,
     deadlines: Optional[Sequence[Optional[float]]] = None,
+    prefill_tokens: Optional[Sequence[int]] = None,
+    max_new_tokens: Optional[Sequence[int]] = None,
 ) -> List[Request]:
     """Materialize :class:`Request` objects from an arrival-time trace.
 
@@ -389,7 +402,10 @@ def requests_from_trace(
     SLOs (seconds after the request's arrival): the materialized
     ``Request.deadline`` is ``arrival_time + slo`` — an absolute deadline
     list would make every request arriving after the largest entry
-    born-expired.
+    born-expired.  ``prefill_tokens``/``max_new_tokens`` optionally attach
+    generation profiles (also round-robin) for iteration-level scheduling
+    (see :mod:`repro.serving.generation`) — a mixed prompt-length trace is
+    one ``prefill_tokens`` list with several entries.
     """
     if payloads is not None and len(payloads) == 0:
         raise ValueError("payloads must be non-empty (or None for no payloads)")
@@ -397,11 +413,25 @@ def requests_from_trace(
         raise ValueError("priorities must be non-empty (or None)")
     if deadlines is not None and len(deadlines) == 0:
         raise ValueError("deadlines must be non-empty (or None)")
+    if prefill_tokens is not None and len(prefill_tokens) == 0:
+        raise ValueError("prefill_tokens must be non-empty (or None)")
+    if max_new_tokens is not None and len(max_new_tokens) == 0:
+        raise ValueError("max_new_tokens must be non-empty (or None)")
     requests = []
     for i, arrival in enumerate(np.sort(np.asarray(trace.arrival_times, dtype=np.float64))):
         payload = payloads[i % len(payloads)] if payloads is not None else None
         priority = int(priorities[i % len(priorities)]) if priorities is not None else 0
         slo = deadlines[i % len(deadlines)] if deadlines is not None else None
+        prompt = (
+            int(prefill_tokens[i % len(prefill_tokens)])
+            if prefill_tokens is not None
+            else 0
+        )
+        new_tokens = (
+            int(max_new_tokens[i % len(max_new_tokens)])
+            if max_new_tokens is not None
+            else 0
+        )
         requests.append(
             Request(
                 arrival_time=float(arrival),
@@ -410,6 +440,8 @@ def requests_from_trace(
                 payload=payload,
                 priority=priority,
                 deadline=None if slo is None else float(arrival) + float(slo),
+                prefill_tokens=prompt,
+                max_new_tokens=new_tokens,
             )
         )
     return requests
@@ -472,6 +504,11 @@ class _Session:
         # _execute only looks at it when non-empty, keeping the seed
         # arithmetic untouched.
         self.checkpoints: Dict[int, float] = {}
+        # Per-slot checkpoint-restore cost in seconds (state transfer to the
+        # resuming server; see StepCheckpoint.restore_seconds).  Paid once,
+        # by the first batch that consumes the slot's checkpoint.  Empty
+        # unless a checkpoint policy prices restores.
+        self.transfer_costs: Dict[int, float] = {}
         self.dropped = 0
         self.free_at: List[float] = [0.0] * num_servers
         self.busy: List[float] = [0.0] * num_servers
@@ -897,6 +934,7 @@ class ServingEngine:
                         f"got {fraction!r}"
                     )
                 if fraction > 0.0:
+                    restore = getattr(checkpoint, "restore_seconds", None)
                     for slot in slots:
                         slot = int(slot)
                         done = s.checkpoints.get(slot, 0.0)
@@ -904,6 +942,14 @@ class ServingEngine:
                         # resumed from `done`, so the new checkpoints cover
                         # a fraction of the *residual* work only.
                         s.checkpoints[slot] = done + (1.0 - done) * fraction
+                        if restore is not None:
+                            # Restoring this checkpoint on another server is
+                            # not free: the resuming batch pays the transfer
+                            # (see _execute).  Re-priced on re-migration —
+                            # only the latest checkpoint is ever restored.
+                            s.transfer_costs[slot] = float(
+                                restore(s.checkpoints[slot])
+                            )
             if self.telemetry is not None:
                 deadline_total, deadline_met = self._deadline_counts(
                     s, slots, record.finish
@@ -1331,6 +1377,19 @@ class ServingEngine:
                 )
             if residual < 1.0:
                 service_time *= residual
+                if s.transfer_costs:
+                    # Checkpoint restores happen in parallel across the
+                    # cohort (each migrant streams its own state), so the
+                    # batch stalls for the slowest transfer — the same
+                    # largest-member convention as the residual above.  A
+                    # full re-execution (residual == 1.0) restores nothing
+                    # and pays nothing.
+                    service_time += max(
+                        s.transfer_costs.pop(int(slot), 0.0) for slot in slots
+                    )
+        if s.transfer_costs:
+            for slot in slots:
+                s.transfer_costs.pop(int(slot), None)
         # Record the ratio the batch actually ran at, which executors may
         # override (mode pinning); metrics built on batch_ratios must
         # reflect executed configurations, not requested ones.
@@ -1372,9 +1431,10 @@ class ServingEngine:
         """Expire ``slots`` (waited beyond ``drop_after``) at time ``start``."""
         s.dropped += len(slots)
         s.latencies[slots] = np.nan
-        if s.checkpoints:
+        if s.checkpoints or s.transfer_costs:
             for slot in slots:
                 s.checkpoints.pop(int(slot), None)
+                s.transfer_costs.pop(int(slot), None)
         if self.telemetry is not None:
             misses = 0
             if s.request_objs is not None:

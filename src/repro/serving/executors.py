@@ -76,6 +76,10 @@ class RuntimeExecutor:
         self.batches_executed = 0
         self.requests_executed = 0
         self.ratio_switches = 0
+        # Generation accounting (execute_step): iteration forwards run and
+        # tokens they emitted (one per live sequence per step).
+        self.steps_executed = 0
+        self.tokens_emitted = 0
 
     def _batch_input(self, batch: Batch) -> np.ndarray:
         samples = []
@@ -106,3 +110,21 @@ class RuntimeExecutor:
         # Report the executed ratio: mode pinning above may have overridden
         # the policy's selection, and batch records must reflect reality.
         return BatchExecution(service_time=seconds, outputs=outputs, ratio=ratio)
+
+    def execute_step(self, batch: Batch, mode: str, ratio: float) -> BatchExecution:
+        """Execute one generation *iteration* (prefill chunk or decode step).
+
+        The step-wise hook the iteration-level
+        :class:`~repro.serving.generation.IterationScheduler` drives: the
+        same stacked-forward contract as :meth:`execute`, but counted under
+        ``steps_executed`` so a generation run's iteration count is
+        observable separately from one-shot batches.  Because the prepared
+        runtime's ``set_ratio`` is O(1), a *per-step* ratio change — the
+        mid-sequence precision switch — still performs no kernel rebuild.
+        """
+        execution = self.execute(batch, mode, ratio)
+        self.batches_executed -= 1
+        self.requests_executed -= batch.size
+        self.steps_executed += 1
+        self.tokens_emitted += batch.size
+        return execution

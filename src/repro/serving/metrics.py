@@ -107,6 +107,59 @@ def summarize_migrations(responses) -> Dict[str, float]:
     }
 
 
+def streaming_summary(
+    token_times: Sequence[Sequence[float]],
+    arrivals: Sequence[float],
+    duration: Optional[float] = None,
+    percentiles: Sequence[float] = (50, 99),
+) -> Dict[str, float]:
+    """Per-token streaming metrics over generated-token timestamps.
+
+    ``token_times`` holds one ascending timestamp list per request (the
+    emission time of each generated token, the first being the prefill's);
+    ``arrivals`` the matching arrival times.  Requests with no tokens
+    (dropped, or still queued) contribute nothing to the latency samples
+    but stay in ``requests``.  Reported:
+
+    * ``ttft_p*`` — time to first token (first timestamp minus arrival);
+    * ``inter_token_p*`` — gaps between consecutive tokens of the same
+      request, pooled across requests.  Prefill-only and single-token
+      sequences have no gaps and contribute nothing (all such runs report
+      ``nan``);
+    * ``tokens_per_sec`` — total generated tokens per second of ``duration``
+      (defaulting to the last token time; ``0.0`` when no time elapsed);
+    * ``tokens`` / ``requests`` — sample sizes behind the rates.
+
+    Empty ``percentiles`` yields only the rate/count fields.
+    """
+    if len(token_times) != len(arrivals):
+        raise ValueError("token_times and arrivals must have the same length")
+    ttfts: list = []
+    gaps: list = []
+    total_tokens = 0
+    last = 0.0
+    for times, arrival in zip(token_times, arrivals):
+        if not len(times):
+            continue
+        total_tokens += len(times)
+        ttfts.append(float(times[0]) - float(arrival))
+        last = max(last, float(times[-1]))
+        for earlier, later in zip(times, times[1:]):
+            gaps.append(float(later) - float(earlier))
+    if duration is None:
+        duration = last
+    summary: Dict[str, float] = {}
+    for label, values in (("ttft", ttfts), ("inter_token", gaps)):
+        for key, value in latency_percentiles(values, percentiles).items():
+            summary[f"{label}_{key}"] = value
+    summary["tokens_per_sec"] = (
+        total_tokens / float(duration) if duration and duration > 0 else 0.0
+    )
+    summary["tokens"] = float(total_tokens)
+    summary["requests"] = float(len(arrivals))
+    return summary
+
+
 def slo_attainment(
     finish_times: Sequence[float], deadlines: Sequence[Optional[float]]
 ) -> float:

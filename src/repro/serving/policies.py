@@ -41,6 +41,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass
+class GenerationStepContext:
+    """Per-iteration generation state handed to ratio policies.
+
+    Built by the :class:`~repro.serving.generation.IterationScheduler` once
+    per decode iteration and attached to :attr:`PolicyContext.generation`,
+    so a policy can switch precision *mid-sequence*: ``iteration`` is the
+    server's 0-based iteration count, ``decode_width`` the live sequences
+    decoding this step, ``prefill_requests``/``prefill_tokens`` the joiners
+    being prefilled first (and their total prompt tokens),
+    ``tokens_in_flight`` the token footprint of the running batch (prompt +
+    generated so far), and ``waiting`` the queued sequences that have
+    arrived but not yet joined.  ``None`` on the one-shot batch paths.
+    """
+
+    iteration: int = 0
+    decode_width: int = 0
+    prefill_requests: int = 0
+    prefill_tokens: int = 0
+    tokens_in_flight: int = 0
+    waiting: int = 0
+
+
+@dataclass
 class PolicyContext:
     """Per-batch information handed to context-aware ratio policies.
 
@@ -56,6 +79,10 @@ class PolicyContext:
     windowed *per-server* signals — served rate, utilization, queue depth —
     instead of only the instantaneous ones; ``num_active`` is the current
     size of the active server set (elastic clusters shrink/grow it).
+
+    On iteration-level generation runs ``generation`` carries the decode
+    step's :class:`GenerationStepContext` (``None`` on one-shot batch
+    paths), so precision can react to decode pressure per iteration.
     """
 
     time: float
@@ -65,6 +92,7 @@ class PolicyContext:
     server: int = 0
     telemetry: Optional["TelemetryBus"] = None
     num_active: int = 0
+    generation: Optional[GenerationStepContext] = None
 
 
 def policy_selector(policy) -> Callable[[PolicyContext], float]:
@@ -166,6 +194,64 @@ class QueueDepthRatioPolicy:
         for depth, depth_ratio in self.thresholds:
             if context.queue_depth >= depth:
                 ratio = depth_ratio
+        return ratio
+
+
+class DecodePressureRatioPolicy:
+    """Mid-sequence precision switching driven by decode pressure.
+
+    A context-aware policy for iteration-level generation runs: when the
+    token footprint of the running batch plus the queued backlog exceeds
+    ``pressure_threshold`` tokens, the iteration runs at ``high_ratio``
+    (cheaper, more 4-bit); once pressure drains it returns to
+    ``base_ratio`` — so a single sequence's tokens can be generated at
+    *different* precisions depending on the load its server was under at
+    each step.  Pressure counts ``tokens_in_flight`` plus
+    ``prefill_tokens`` about to join, plus ``waiting * waiting_weight``
+    (each queued sequence's expected footprint).  On one-shot batch paths
+    (no generation context) it falls back to queue depth against
+    ``queue_depth_fallback``.
+    """
+
+    accepts_context = True
+
+    def __init__(
+        self,
+        pressure_threshold: int,
+        base_ratio: float = 0.0,
+        high_ratio: float = 1.0,
+        waiting_weight: float = 0.0,
+        queue_depth_fallback: int = 8,
+    ) -> None:
+        if pressure_threshold < 1:
+            raise ValueError("pressure_threshold must be >= 1 tokens")
+        self.pressure_threshold = int(pressure_threshold)
+        self.base_ratio = float(base_ratio)
+        self.high_ratio = float(high_ratio)
+        self.waiting_weight = float(waiting_weight)
+        self.queue_depth_fallback = int(queue_depth_fallback)
+        self.switches = 0
+        self._last: Optional[float] = None
+
+    def on_run_start(self, trace: RequestTrace) -> None:
+        self.switches = 0
+        self._last = None
+
+    def select(self, context: PolicyContext) -> float:
+        generation = context.generation
+        if generation is not None:
+            pressure = (
+                generation.tokens_in_flight
+                + generation.prefill_tokens
+                + generation.waiting * self.waiting_weight
+            )
+            loaded = pressure >= self.pressure_threshold
+        else:
+            loaded = context.queue_depth >= self.queue_depth_fallback
+        ratio = self.high_ratio if loaded else self.base_ratio
+        if self._last is not None and ratio != self._last:
+            self.switches += 1
+        self._last = ratio
         return ratio
 
 

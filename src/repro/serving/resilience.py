@@ -546,13 +546,30 @@ class StepCheckpoint:
     partial step in flight is lost, exactly like an un-checkpointed batch
     loses everything).  ``steps=1`` checkpoints nothing — the fraction is
     always 0 — which makes the degenerate policy equivalent to no policy.
+
+    Restoring a checkpoint on the resuming server is optionally *priced*:
+    ``transfer_cost`` is a flat per-restore charge (seconds — moving the
+    model/KV state to the new server), ``transfer_per_step`` adds a charge
+    per checkpointed step actually being restored (state grows with saved
+    progress).  :meth:`restore_seconds` turns a migrant's surviving
+    progress fraction into that charge; the engine records it per victim
+    and the first batch that *consumes* the checkpoint pays the cohort's
+    largest transfer alongside its residual re-execution (see
+    ``ServingEngine._execute``).  Both default to 0.0 — the free-restore
+    seed behaviour.
     """
 
     steps: int = 4
+    transfer_cost: float = 0.0
+    transfer_per_step: float = 0.0
 
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise ValueError("steps must be >= 1")
+        if self.transfer_cost < 0:
+            raise ValueError("transfer_cost must be >= 0 seconds")
+        if self.transfer_per_step < 0:
+            raise ValueError("transfer_per_step must be >= 0 seconds")
 
     def completed_fraction(self, record: "BatchRecord", time: float) -> float:
         span = record.finish - record.start
@@ -561,6 +578,21 @@ class StepCheckpoint:
             return 0.0
         crossed = int(self.steps * min(elapsed / span, 1.0))
         return min(crossed, self.steps - 1) / self.steps
+
+    def restore_seconds(self, progress: float) -> float:
+        """Seconds to restore a checkpoint holding ``progress`` of the work.
+
+        Zero when there is nothing to restore (``progress <= 0``); otherwise
+        the flat ``transfer_cost`` plus ``transfer_per_step`` for each
+        checkpointed step the progress fraction represents (rounded to the
+        nearest step — compounded re-migration fractions may fall between
+        step boundaries).
+        """
+        if progress <= 0.0:
+            return 0.0
+        return self.transfer_cost + self.transfer_per_step * round(
+            progress * self.steps
+        )
 
 
 # ----------------------------------------------------------------------

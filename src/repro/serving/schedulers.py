@@ -45,6 +45,13 @@ and are then re-ranked by exactly the same :meth:`Scheduler.key` as fresh
 requests — an EDF queue re-sorts migrants by their (unchanged) deadlines,
 a priority queue by their priorities, with the original arrival time still
 the tie-breaker.  No scheduler needs migration-specific code.
+
+The same key also orders **admission to a running generation batch**: the
+iteration-level :class:`~repro.serving.generation.IterationScheduler` ranks
+its waiting sequences with :func:`admission_key` — discipline key first,
+arrival and admission slot as tie-breakers, exactly the engine's queue
+ordering — so EDF/priority semantics carry over to continuous batching
+without generation-specific scheduler code.
 """
 
 from __future__ import annotations
@@ -53,6 +60,19 @@ from typing import Protocol, Tuple, TYPE_CHECKING, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.engine import Request
+
+
+def admission_key(
+    scheduler: "Scheduler", request: "Request", arrival: float, slot: int
+) -> Tuple:
+    """Full queue-ordering key: discipline key + the engine's tie-breakers.
+
+    The one place the ``(scheduler.key, arrival, admission slot)`` ordering
+    is spelled out for callers outside the engine's own loops (the
+    generation scheduler's admission ranking) — keeping every queue in the
+    system sorted by the same rule.
+    """
+    return (scheduler.key(request), float(arrival), int(slot))
 
 
 @runtime_checkable

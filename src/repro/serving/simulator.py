@@ -43,6 +43,16 @@ class ServiceTimeModel:
     on demand (``np.interp`` would silently clamp them to the last anchor's
     latency, under-reporting service time for ``max_batch`` above the
     anchor range).
+
+    For autoregressive workloads the model also exposes a prefill-vs-decode
+    cost split (:meth:`prefill_latency` / :meth:`decode_latency`) built on
+    the same anchors: a prefill processes a whole prompt in parallel, so its
+    cost scales with prompt tokens (``prefill_tokens_per_sample`` tokens
+    cost one batch-1 forward); a decode step processes one token per live
+    sequence, so its cost scales with the batch *width* and is a
+    ``decode_token_fraction`` of the equally-wide one-shot forward
+    (compute per token, defaulting to ``1 / prefill_tokens_per_sample``).
+    One-shot classification runs never touch either method.
     """
 
     def __init__(
@@ -51,10 +61,20 @@ class ServiceTimeModel:
         gpu: str = "a6000",
         anchor_batches: Sequence[int] = (1, 8, 16, 32, 64, 128),
         latency_model: Optional[GpuLatencyModel] = None,
+        prefill_tokens_per_sample: int = 64,
+        decode_token_fraction: Optional[float] = None,
     ) -> None:
         self.model_name = model_name
         self.latency_model = latency_model or GpuLatencyModel(gpu)
         self.anchor_batches = sorted(set(int(b) for b in anchor_batches))
+        if prefill_tokens_per_sample < 1:
+            raise ValueError("prefill_tokens_per_sample must be >= 1")
+        self.prefill_tokens_per_sample = int(prefill_tokens_per_sample)
+        if decode_token_fraction is None:
+            decode_token_fraction = 1.0 / self.prefill_tokens_per_sample
+        if decode_token_fraction <= 0:
+            raise ValueError("decode_token_fraction must be > 0")
+        self.decode_token_fraction = float(decode_token_fraction)
         self._cache: Dict[str, np.ndarray] = {}
         self._exact: Dict[Tuple[str, int], float] = {}
 
@@ -94,6 +114,33 @@ class ServiceTimeModel:
             return self._exact_latency(int(batch_size), mode, ratio)
         anchors = self._anchor_latencies(mode, ratio)
         return float(np.interp(batch_size, self.anchor_batches, anchors))
+
+    def prefill_latency(
+        self, prompt_tokens: int, mode: str, ratio: float = 0.0
+    ) -> float:
+        """Seconds to prefill one ``prompt_tokens``-token prompt.
+
+        The prompt is processed in parallel like a batch of
+        ``ceil(tokens / prefill_tokens_per_sample)`` one-shot samples —
+        compute scales with prompt length, with the hardware model's own
+        sub-linear batching efficiency applied.  Zero-length prompts (pure
+        decode continuations) cost nothing.
+        """
+        if prompt_tokens <= 0:
+            return 0.0
+        equivalent = -(-int(prompt_tokens) // self.prefill_tokens_per_sample)
+        return self.batch_latency(equivalent, mode, ratio)
+
+    def decode_latency(self, width: int, mode: str, ratio: float = 0.0) -> float:
+        """Seconds for one decode step over ``width`` live sequences.
+
+        Each sequence contributes one token, so the step is a width-sized
+        forward at per-token compute: ``decode_token_fraction`` of the
+        equally-wide one-shot batch latency.  An empty step costs nothing.
+        """
+        if width <= 0:
+            return 0.0
+        return self.batch_latency(int(width), mode, ratio) * self.decode_token_fraction
 
 
 @dataclass

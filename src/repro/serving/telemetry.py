@@ -76,6 +76,11 @@ class _WindowCell:
     deadline_total: int = 0
     deadline_met: int = 0
     latencies: List[float] = field(default_factory=list)
+    # Streaming-generation signals (zero for one-shot workloads): generated
+    # tokens emitted in the window and the TTFT samples of sequences whose
+    # first token landed in it (see record_tokens).
+    tokens: int = 0
+    ttft: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -96,12 +101,24 @@ class ServerWindowStats:
     deadline_total: int = 0
     deadline_met: int = 0
     latencies: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    tokens: int = 0
+    ttft: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     @property
     def served_rate(self) -> float:
         """Requests served per second of window time."""
         span = self.end - self.start
         return self.served / span if span > 0 else 0.0
+
+    @property
+    def tokens_per_sec(self) -> float:
+        """Generated tokens per second of window time (0.0 for one-shot)."""
+        span = self.end - self.start
+        return self.tokens / span if span > 0 else 0.0
+
+    def ttft_percentile(self, percentile: float) -> float:
+        """TTFT percentile of sequences whose first token landed here."""
+        return latency_percentile(self.ttft, percentile)
 
     @property
     def slo_attainment(self) -> float:
@@ -228,6 +245,55 @@ class TelemetryBus:
                 except ValueError:
                     pass  # never recorded (bus attached mid-run)
 
+    def record_tokens(
+        self,
+        server: int,
+        time: float,
+        tokens: int,
+        ttfts: Sequence[float] = (),
+    ) -> None:
+        """Account generated tokens (iteration-scheduler hook).
+
+        ``time`` is the iteration start (the same attribution rule as
+        batches); ``tokens`` the tokens it emitted (prefill first tokens +
+        decode tokens); ``ttfts`` the TTFT samples of sequences whose first
+        token it produced.  One-shot engines never call this, so the
+        signals stay zero unless a generation loop is running.
+        """
+        cell = self._cell(server, self.window_index(time))
+        cell.tokens += int(tokens)
+        cell.ttft.extend(float(value) for value in ttfts)
+
+    def unrecord_tokens(
+        self,
+        server: int,
+        time: float,
+        tokens: int,
+        ttfts: Sequence[float] = (),
+    ) -> None:
+        """Reverse one :meth:`record_tokens` (the iteration was preempted)."""
+        cell = self._cell(server, self.window_index(time))
+        cell.tokens -= int(tokens)
+        for value in ttfts:
+            try:
+                cell.ttft.remove(float(value))
+            except ValueError:
+                pass  # never recorded (bus attached mid-run)
+
+    def token_rate(self, server: int, window: int) -> float:
+        """Generated tokens/second one server sustained during a window.
+
+        The decode-pressure signal for ratio policies and autoscalers; 0.0
+        for windows without token traffic (one-shot workloads included).
+        Cheap like :meth:`measured_rate` — no arrays are materialized.
+        """
+        if window < 0:
+            return 0.0
+        cell = self._cells.get((int(server), int(window)))
+        if cell is None or cell.tokens <= 0:
+            return 0.0
+        return cell.tokens / self.window
+
     def record_drops(
         self, time: float, count: int, deadline_misses: int = 0
     ) -> None:
@@ -285,6 +351,8 @@ class TelemetryBus:
             deadline_total=cell.deadline_total,
             deadline_met=cell.deadline_met,
             latencies=np.asarray(cell.latencies, dtype=np.float64),
+            tokens=cell.tokens,
+            ttft=np.asarray(cell.ttft, dtype=np.float64),
         )
 
     def server_window(self, server: int, window: int) -> ServerWindowStats:
@@ -365,6 +433,8 @@ class TelemetryBus:
             merged.deadline_total += cell.deadline_total
             merged.deadline_met += cell.deadline_met
             merged.latencies.extend(cell.latencies)
+            merged.tokens += cell.tokens
+            merged.ttft.extend(cell.ttft)
             if server in active:
                 merged.busy += cell.busy
         stats = self._stats_from(merged, CLUSTER, window)
@@ -384,6 +454,8 @@ class TelemetryBus:
             deadline_total=stats.deadline_total,
             deadline_met=stats.deadline_met,
             latencies=stats.latencies,
+            tokens=stats.tokens,
+            ttft=stats.ttft,
             active_servers=len(active),
         )
 

@@ -76,6 +76,18 @@ def test_resilient_cluster_runs_end_to_end():
     assert "crash server 0" in out and "recover server 0" in out
 
 
+def test_continuous_batching_runs_end_to_end():
+    out = run_example("continuous_batching.py")
+    assert "Continuous batching" in out
+    assert "run-to-completion" in out
+    # The headline claim: continuous wins on both streaming axes.
+    assert "beats run-to-completion on both axes" in out
+    # The mid-sequence precision story: the decode-pressure policy really
+    # flipped the ratio while sequences were in flight.
+    assert "mid-sequence precision" in out
+    assert "made 0 mid-sequence" not in out
+
+
 def test_zone_outage_runs_end_to_end():
     out = run_example("zone_outage.py")
     assert "Failure domains" in out

@@ -783,3 +783,147 @@ class TestTimelineEdgeCases:
         assert len(timeline) == len(outcome.fault_events) + len(outcome.scale_events)
         times = [e.time for e in timeline]
         assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Topology-aware warm-spare promotion (PR 7 satellite)
+# ----------------------------------------------------------------------
+class TestTopologyAwarePromotion:
+    def _promote(self, spare_specs, crash_server=0):
+        specs = [
+            fixed_spec("g0", zone="A"),
+            fixed_spec("g1", zone="B"),
+        ] + spare_specs
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=8),
+            warm_spares=WarmSparePool([2, 3], promotion_latency=0.01),
+            fault_schedule=FaultSchedule.single_crash(crash_server, at=0.3),
+            migration=RequeueAtHeadMigration(delay=0.001),
+            window=0.1,
+        )
+        cluster.register("m", mode="int8")
+        trace = PoissonTrace(800, duration=1.0, seed=11).generate()
+        outcome = cluster.run(trace=trace)
+        assert len(outcome.promotions) == 1
+        return outcome.promotions[0]
+
+    def test_prefers_out_of_domain_spare_over_faster_in_domain(self):
+        # The regression: the only *fast* spare shares the failed zone.
+        # Promoting it would leave the cluster one zone event from losing
+        # the replacement too — the slower out-of-domain spare must win.
+        event = self._promote(
+            [
+                fixed_spec("s2", speed=2000.0, zone="A"),  # fast, failed zone
+                fixed_spec("s3", speed=500.0, zone="C"),   # slow, safe zone
+            ]
+        )
+        assert event.server == 3
+        assert "[zone:A]" in event.reason
+
+    def test_speed_breaks_ties_among_out_of_domain_spares(self):
+        event = self._promote(
+            [
+                fixed_spec("s2", speed=500.0, zone="C"),
+                fixed_spec("s3", speed=2000.0, zone="C"),
+            ]
+        )
+        assert event.server == 3  # both safe: the faster spare wins
+
+    def test_id_breaks_full_ties(self):
+        event = self._promote(
+            [
+                fixed_spec("s2", speed=1000.0, zone="C"),
+                fixed_spec("s3", speed=1000.0, zone="C"),
+            ]
+        )
+        assert event.server == 2
+
+    def test_undeclared_spares_count_as_out_of_domain(self):
+        # Spares without zone/rack identity are their own single-server
+        # islands; they must still beat a spare inside the failed zone.
+        event = self._promote(
+            [
+                fixed_spec("s2", speed=2000.0, zone="A"),
+                fixed_spec("s3", speed=100.0),  # no topology declared
+            ]
+        )
+        assert event.server == 3
+
+
+# ----------------------------------------------------------------------
+# Checkpoint transfer pricing (PR 7 satellite)
+# ----------------------------------------------------------------------
+class TestCheckpointTransferCost:
+    def test_restore_seconds_arithmetic(self):
+        policy = StepCheckpoint(steps=4, transfer_cost=0.1, transfer_per_step=0.05)
+        assert policy.restore_seconds(0.0) == 0.0
+        assert policy.restore_seconds(-1.0) == 0.0
+        assert policy.restore_seconds(0.5) == pytest.approx(0.1 + 2 * 0.05)
+        assert policy.restore_seconds(0.75) == pytest.approx(0.1 + 3 * 0.05)
+        # A free checkpoint (the default) prices every restore at zero.
+        assert StepCheckpoint(steps=4).restore_seconds(0.5) == 0.0
+        with pytest.raises(ValueError):
+            StepCheckpoint(steps=4, transfer_cost=-0.1)
+        with pytest.raises(ValueError):
+            StepCheckpoint(steps=4, transfer_per_step=-0.1)
+
+    def _preempt(self, checkpoint, kill_at=0.5):
+        engine = ServingEngine(BatchingConfig(max_batch=4), num_servers=2)
+        engine.register("m", FixedExecutor(1.0), mode="int8")
+        engine.start(
+            requests=[
+                Request(arrival_time=0.0, model="m", request_id=i)
+                for i in range(4)
+            ]
+        )
+        engine.step()
+        engine.preempt_server(
+            0,
+            kill_at,
+            policy=RequeueAtHeadMigration(),
+            kill_running=True,
+            checkpoint=checkpoint,
+        )
+        engine.set_active_servers([1])
+        return engine.finish()
+
+    def test_migrant_cohort_pays_transfer_on_resume(self):
+        # Killed at 0.5 of a 1.0s batch with 4 steps: 0.5 residual plus the
+        # cohort's restore cost (parallel restore: one transfer for the
+        # whole cohort, like the largest-residual convention).
+        priced = self._preempt(StepCheckpoint(steps=4, transfer_cost=0.2))
+        free = self._preempt(StepCheckpoint(steps=4))
+        conserve(priced, 4)
+        assert free.latencies.max() == pytest.approx(1.0)    # 0.5 + 0.5
+        assert priced.latencies.max() == pytest.approx(1.2)  # ... + 0.2
+        assert priced.migrated == free.migrated == 4
+
+    def test_full_reexecution_pays_no_transfer(self):
+        # Killed before any checkpoint step: nothing restores, so nothing
+        # transfers — the run matches the checkpoint-free baseline exactly.
+        priced = self._preempt(
+            StepCheckpoint(steps=4, transfer_cost=0.2), kill_at=0.2
+        )
+        plain = self._preempt(None, kill_at=0.2)
+        np.testing.assert_allclose(priced.latencies, plain.latencies)
+
+    def test_estimate_batch_seconds_includes_transfer(self):
+        spec = fixed_spec("a", speed=1000.0)
+        base = spec.estimate_batch_seconds(8, residual=0.5)
+        assert spec.estimate_batch_seconds(
+            8, residual=0.5, transfer=0.2
+        ) == pytest.approx(base + 0.2)
+        with pytest.raises(ValueError):
+            spec.estimate_batch_seconds(8, transfer=-0.1)
+
+    def test_custom_checkpoint_without_pricing_still_works(self):
+        # Duck-typed composition: a CheckpointPolicy that never heard of
+        # restore_seconds keeps its seed behaviour (free restores).
+        class HalfCheckpoint:
+            def completed_fraction(self, record, time):
+                return 0.5
+
+        result = self._preempt(HalfCheckpoint())
+        conserve(result, 4)
+        assert result.latencies.max() == pytest.approx(1.0)
