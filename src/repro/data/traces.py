@@ -31,9 +31,32 @@ class RequestTrace:
     arrival_times: np.ndarray
     duration: float
     description: str = ""
+    # Memoized sorted view keyed by the identity of ``arrival_times``: every
+    # run entry needs arrivals sorted, and a million-request trace re-sorted
+    # per run dominates small sweeps.  Rebinding ``arrival_times`` (the only
+    # supported mutation — the dataclass is otherwise value-like) invalidates
+    # the cache via the identity guard.
+    _sorted_cache: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.arrival_times = np.asarray(self.arrival_times, dtype=np.float64)
+
+    def sorted_arrivals(self) -> np.ndarray:
+        """Arrival times sorted ascending, computed once per array binding.
+
+        Returns a shared read-only array: callers treating it as the
+        admission schedule (the serving engine does) must not mutate it.
+        The cache holds the source array itself as its key, so identity
+        (not value) decides freshness — in-place mutation of
+        ``arrival_times`` is not supported, rebinding it is.
+        """
+        if self._sorted_cache is None or self._sorted_cache[0] is not self.arrival_times:
+            ordered = np.sort(np.asarray(self.arrival_times, dtype=np.float64))
+            ordered.setflags(write=False)
+            self._sorted_cache = (self.arrival_times, ordered)
+        return self._sorted_cache[1]
 
     def __len__(self) -> int:
         return len(self.arrival_times)

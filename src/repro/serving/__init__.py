@@ -11,6 +11,14 @@ The package is organised around :mod:`repro.serving.engine`:
   model, batches never mix models).  Admission is incremental:
   ``start()`` / ``submit()`` / ``step()`` / ``finish()`` stream requests
   through a live engine, and ``run()`` is a thin batch driver over them.
+* **Columnar core** (:mod:`repro.serving.core`): the vectorized,
+  event-driven hot path — :class:`~repro.serving.core.RequestStore` keeps
+  request metadata as columns (``Request`` objects become lazy views),
+  :class:`~repro.serving.core.EventCalendar` orders the control plane's
+  typed events in O(log n), and the FIFO fast sweep +
+  streaming-percentile digests let a million-request day clear in
+  seconds, bit-identical to the object loop (see the gated
+  ``cluster_day`` benchmark).
 * **Schedulers** (:mod:`repro.serving.schedulers`) order the queue: FIFO
   (the default, bit-identical to the seed simulator), strict priority, or
   earliest-deadline-first for SLO-aware serving, driven by per-request
@@ -74,6 +82,14 @@ with per-window adaptation) is ``ModeledExecutor`` + ``AdaptiveRatioPolicy``.
 bit-identical compatibility wrappers running exactly those configurations.
 """
 
+from repro.serving.core import (
+    Event,
+    EventCalendar,
+    LazyRequests,
+    P2Quantile,
+    RequestStore,
+    ReservoirSample,
+)
 from repro.serving.engine import (
     Batch,
     BatchExecution,
@@ -174,6 +190,7 @@ from repro.serving.metrics import (
     attainment_within,
     latency_percentiles,
     slo_attainment,
+    streaming_percentile,
     streaming_summary,
     summarize_latencies,
     summarize_migrations,
@@ -200,6 +217,8 @@ __all__ = [
     "DropExpiredMigration",
     "EdfScheduler",
     "EngineResult",
+    "Event",
+    "EventCalendar",
     "Executor",
     "FaultEvent",
     "FaultSchedule",
@@ -214,12 +233,14 @@ __all__ = [
     "GenerationStepContext",
     "IterationRecord",
     "IterationScheduler",
+    "LazyRequests",
     "LeastOutstandingWorkPlacer",
     "Migrant",
     "MigrationPolicy",
     "ModelAffinityPlacer",
     "ModeledExecutor",
     "ModeledGenerationBackend",
+    "P2Quantile",
     "PerServerAdaptiveRatioPolicy",
     "Placer",
     "PlacementContext",
@@ -235,7 +256,9 @@ __all__ = [
     "RatioSchedulePolicy",
     "RedistributeMigration",
     "Request",
+    "RequestStore",
     "RequeueAtHeadMigration",
+    "ReservoirSample",
     "Response",
     "RoundRobinRatioPolicy",
     "RuntimeExecutor",
@@ -265,6 +288,7 @@ __all__ = [
     "requests_from_trace",
     "run_to_completion",
     "slo_attainment",
+    "streaming_percentile",
     "streaming_summary",
     "summarize_latencies",
     "summarize_migrations",

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.data.traces import RequestTrace
 from repro.hardware.npu import NpuConfig, NpuLatencyModel
+from repro.serving.core import WINDOW_BOUNDARY, EventCalendar
 from repro.serving.engine import (
     BatchingConfig,
     EngineResult,
@@ -726,6 +727,7 @@ class ClusterEngine:
         warm_spares: Optional[WarmSparePool] = None,
         min_domains: Optional[int] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
+        columnar: bool = True,
     ) -> None:
         if not specs:
             raise ValueError("a cluster needs at least one ServerSpec")
@@ -779,7 +781,9 @@ class ClusterEngine:
                     )
         self.migration = migration
         self.model_floors = dict(model_floors) if model_floors is not None else None
-        self._fault_cursor = 0
+        # Per-run fault calendar (FAULT events in schedule order); rebuilt by
+        # run() so one immutable schedule drives any number of replays.
+        self._fault_calendar: Optional[EventCalendar] = None
         # Per-server degradable executor wrappers (slowdown faults): one
         # list per server, one wrapper per registered model on it.  Only
         # populated when a fault schedule exists, so the default path keeps
@@ -798,6 +802,7 @@ class ClusterEngine:
             scheduler=scheduler,
             placer=self.resolve_placer(placer),
             telemetry=self.telemetry,
+            columnar=columnar,
         )
         if self.model_floors is not None:
             # Floors only act through affinity scale-down; accepting them
@@ -973,7 +978,11 @@ class ClusterEngine:
                 self.autoscaler.attach(self.telemetry)
             if hasattr(self.autoscaler, "reset"):
                 self.autoscaler.reset()
-        self._fault_cursor = 0
+        self._fault_calendar = (
+            self.fault_schedule.as_events()
+            if self.fault_schedule is not None
+            else None
+        )
         self._promoted.clear()
         if self.fault_schedule is not None:
             # Deterministic repeat runs: faults re-play from a clean slate.
@@ -996,41 +1005,54 @@ class ClusterEngine:
             # promotion is the only thing that activates them.
             self.engine.set_active_servers(self._primaries)
         control = self.autoscaler is not None or self.fault_schedule is not None
-        next_boundary = self.telemetry.window
-        closed = 0
+        boundaries = EventCalendar()
+        if control:
+            boundaries.schedule(self.telemetry.window, WINDOW_BOUNDARY, 0)
         try:
-            while True:
-                record = self.engine.step()
-                if record is None:
-                    if self.fault_schedule is not None and self._fault_cursor < len(
-                        self.fault_schedule.events
-                    ):
-                        # Trailing faults: events after the last batch start
-                        # (a server crashed in the final window) must still
-                        # land.  Apply ONE event, then re-enter the step
-                        # loop: a crash may requeue migrants whose batches a
-                        # *later* event should see in flight — draining the
-                        # whole schedule here would apply future faults
-                        # before the work they are meant to disturb exists.
-                        event = self.fault_schedule.events[self._fault_cursor]
-                        boundary = (
-                            self.telemetry.window_index(event.time) + 1
-                        ) * self.telemetry.window
-                        self._apply_fault(event, boundary)
-                        self._fault_cursor += 1
-                        continue
-                    break
-                # Close every window boundary the clock has passed.  Batch
-                # start times are not strictly monotone across servers, so a
-                # boundary closes when *some* batch starts beyond it;
-                # stragglers still land in their own (already-closed)
-                # window's telemetry cell, only the scaling decision sees
-                # them late.
-                while control and record.start >= next_boundary:
-                    self._close_window(closed, next_boundary)
-                    closed += 1
-                    next_boundary = (closed + 1) * self.telemetry.window
-            result = self.engine.finish()
+            if not control:
+                # No window-boundary decisions to make: hand the whole
+                # session straight to finish(), which drains eligible FIFO
+                # sessions through the engine's columnar fast core —
+                # stepping batch-by-batch here would only re-create the
+                # object loop the core replaces.
+                result = self.engine.finish()
+            else:
+                while True:
+                    record = self.engine.step()
+                    if record is None:
+                        if self._fault_calendar:
+                            # Trailing faults: events after the last batch
+                            # start (a server crashed in the final window)
+                            # must still land.  Apply ONE event, then
+                            # re-enter the step loop: a crash may requeue
+                            # migrants whose batches a *later* event should
+                            # see in flight — draining the whole calendar
+                            # here would apply future faults before the work
+                            # they are meant to disturb exists.
+                            event = self._fault_calendar.pop().payload
+                            boundary = (
+                                self.telemetry.window_index(event.time) + 1
+                            ) * self.telemetry.window
+                            self._apply_fault(event, boundary)
+                            continue
+                        break
+                    # Close every window boundary the clock has passed.
+                    # Batch start times are not strictly monotone across
+                    # servers, so a boundary closes when *some* batch starts
+                    # beyond it; stragglers still land in their own
+                    # (already-closed) window's telemetry cell, only the
+                    # scaling decision sees them late.  Each WINDOW_BOUNDARY
+                    # event reschedules its successor, so the calendar holds
+                    # one pending boundary at a time.
+                    while record.start >= boundaries.peek_time():
+                        due = boundaries.pop()
+                        self._close_window(due.payload, due.time)
+                        boundaries.schedule(
+                            (due.payload + 2) * self.telemetry.window,
+                            WINDOW_BOUNDARY,
+                            due.payload + 1,
+                        )
+                result = self.engine.finish()
         except BaseException:
             # A mid-run failure (an unsurvivable crash fault, a rogue
             # placer) must not leave the session open: abort so the same
@@ -1051,15 +1073,17 @@ class ClusterEngine:
         )
 
     def _close_window(self, window: int, boundary: float) -> None:
-        """Apply due fault injections, then one autoscaling decision."""
-        if self.fault_schedule is not None:
-            events = self.fault_schedule.events
-            while (
-                self._fault_cursor < len(events)
-                and events[self._fault_cursor].time < boundary
-            ):
-                self._apply_fault(events[self._fault_cursor], boundary)
-                self._fault_cursor += 1
+        """Apply due fault injections, then one autoscaling decision.
+
+        Faults pop off the per-run calendar strictly *before* the boundary —
+        a fault strikes mid-window but lands when the window closes, so the
+        calendar is consumed here rather than merged with the boundary
+        events (a merged heap would fire faults at their own timestamps,
+        mid-window, which is not the model).
+        """
+        if self._fault_calendar is not None:
+            while self._fault_calendar.peek_time() < boundary:
+                self._apply_fault(self._fault_calendar.pop().payload, boundary)
         if self.autoscaler is not None:
             self._autoscale(window, boundary)
 

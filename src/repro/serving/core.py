@@ -1,0 +1,910 @@
+"""Columnar event-driven serving core: arrays and events behind the object API.
+
+The serving stack of PRs 2-7 carries one Python ``Request`` object per
+request through a window-stepped loop — fine at 10^4 requests, hopeless at a
+realistic diurnal day (>= 10^6).  This module is the data-layout refactor:
+the hot state lives in parallel numpy columns, the control flow advances
+through a heap of typed events, and the object API survives as thin lazily
+materialized views.
+
+Event taxonomy
+==============
+The :class:`EventCalendar` is an O(log n) priority queue of :class:`Event`
+records ordered by ``(time, push sequence)``.  Five event kinds cover the
+serving control plane:
+
+``ARRIVAL_CHUNK``
+    A contiguous run of sorted arrivals becomes admissible.  The columnar
+    FIFO core never materializes these as heap entries — the sorted arrival
+    column *is* the arrival schedule, and ``bisect`` finds each chunk — but
+    schedulers that interleave admission with other events push them.
+``BATCH_COMPLETION``
+    A dispatched batch finishes and frees its server; iteration-level
+    generation uses the same kind for iteration boundaries.
+``WINDOW_BOUNDARY``
+    A telemetry control window closes: the cluster control plane applies
+    pending faults, consults the autoscaler, and schedules the next
+    boundary (see :meth:`repro.serving.cluster.ClusterEngine.run`).
+``FAULT``
+    An injected fault (crash / slowdown / recovery) from a
+    :class:`~repro.serving.resilience.FaultSchedule` strikes; it is applied
+    at the first window boundary at or after its strike time.
+``SCALE``
+    An elasticity decision (server activation / deactivation) takes effect,
+    e.g. a recovered server re-admitted at the next boundary.
+
+Views vs. copies
+================
+* :class:`RequestStore` owns the columns (one contiguous ``float64``/
+  integer array per field).  ``store.arrivals`` *is* the engine's arrival
+  array — no copy is taken on ``start()``.
+* :class:`LazyRequests` is a zero-copy ``Sequence[Request]`` view over a
+  store; indexing materializes a single transient :class:`Request`.
+* :class:`BatchLedger` is a columnar ``Sequence[BatchRecord]``: the batch
+  arrays are owned, each ``ledger[i]`` materializes one record on demand.
+* Per-request latencies are computed once, vectorized, as
+  ``repeat(segment_finish, segment_size) - arrivals`` — a fresh array, not
+  a view, because the session owns it past the run.
+* Telemetry ingestion groups per-request latencies into per-window chunks
+  (fresh arrays); everything else aggregates into scalar accumulators.
+
+The unbreakable invariant: a K=1 FIFO run through the columnar core is
+**bit-identical** to the seed simulator — same admission boundaries, same
+batch formation, same IEEE-754 arithmetic (``start + service``,
+``finish - arrival``), same drop predicate (``start - arrival >
+drop_after`` re-applied exactly at the searchsorted boundary).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from collections.abc import Sequence as _SequenceABC
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_CHUNK",
+    "BATCH_COMPLETION",
+    "WINDOW_BOUNDARY",
+    "FAULT",
+    "SCALE",
+    "Event",
+    "EventCalendar",
+    "RequestStore",
+    "LazyRequests",
+    "BatchLedger",
+    "ColumnarFifoRun",
+    "run_fifo_columnar",
+    "per_request_latencies",
+    "P2Quantile",
+    "ReservoirSample",
+]
+
+
+# ----------------------------------------------------------------------
+# Event calendar
+# ----------------------------------------------------------------------
+ARRIVAL_CHUNK = "arrival_chunk"
+BATCH_COMPLETION = "batch_completion"
+WINDOW_BOUNDARY = "window_boundary"
+FAULT = "fault"
+SCALE = "scale"
+
+# Request status column values.
+PENDING = 0
+SERVED = 1
+DROPPED = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed point on the simulation timeline."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventCalendar:
+    """Min-heap of events ordered by ``(time, push sequence)``.
+
+    Push/pop are O(log n); peeking the next due time is O(1).  Ties break
+    by push order, so a producer that pushes an already-sorted schedule
+    (e.g. a :class:`~repro.serving.resilience.FaultSchedule`) gets its
+    events back in exactly that order.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (float(event.time), self._seq, event))
+        self._seq += 1
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+        """Convenience: build and push an :class:`Event`."""
+        self.push(Event(time=float(time), kind=kind, payload=payload))
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0][2] if self._heap else None
+
+    def peek_time(self) -> float:
+        """Time of the next event (``inf`` when the calendar is empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[2]
+
+    def pop_due(self, time: float) -> List[Event]:
+        """Pop every event with ``event.time <= time``, in calendar order."""
+        due: List[Event] = []
+        while self._heap and self._heap[0][0] <= time:
+            due.append(self.pop())
+        return due
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# ----------------------------------------------------------------------
+# Columnar request storage
+# ----------------------------------------------------------------------
+def _roundrobin_column(values: Sequence, n: int, dtype) -> np.ndarray:
+    """``values`` tiled round-robin to length ``n`` (the trace convention)."""
+    pool = np.asarray(values, dtype=dtype)
+    if len(pool) >= n:
+        return pool[:n].copy()
+    reps = -(-n // len(pool))  # ceil
+    return np.tile(pool, reps)[:n]
+
+
+class RequestStore:
+    """Columnar storage for a cohort of requests (structure-of-arrays).
+
+    One contiguous array per field; :class:`Request` objects exist only as
+    transient views built by :meth:`request`.  ``arrivals`` must be sorted
+    ascending (both constructors guarantee it) — the engine's admission
+    arithmetic bisects it directly, zero-copy.
+
+    ``deadlines`` uses ``nan`` as the "no deadline" sentinel so the column
+    stays a dense ``float64`` array; :meth:`request` converts back to
+    ``None`` at the view boundary.  ``status`` tracks request outcomes
+    (``PENDING`` / ``SERVED`` / ``DROPPED``) and is maintained by the
+    columnar fast core; the legacy object loop leaves it ``PENDING``.
+    """
+
+    __slots__ = (
+        "arrivals",
+        "model_ids",
+        "model_names",
+        "request_ids",
+        "priorities",
+        "deadlines",
+        "prefill_tokens",
+        "max_new_tokens",
+        "status",
+        "payload_pool",
+        "payload_list",
+    )
+
+    def __init__(
+        self,
+        arrivals: np.ndarray,
+        model_names: Sequence[str],
+        model_ids: Optional[np.ndarray] = None,
+        request_ids: Optional[np.ndarray] = None,
+        priorities: Optional[np.ndarray] = None,
+        deadlines: Optional[np.ndarray] = None,
+        prefill_tokens: Optional[np.ndarray] = None,
+        max_new_tokens: Optional[np.ndarray] = None,
+        payload_pool: Optional[Sequence] = None,
+        payload_list: Optional[Sequence] = None,
+    ) -> None:
+        self.arrivals = np.asarray(arrivals, dtype=np.float64)
+        n = len(self.arrivals)
+        self.model_names = list(model_names)
+        if not self.model_names:
+            raise ValueError("model_names must name at least one model")
+        self.model_ids = (
+            np.zeros(n, dtype=np.int32)
+            if model_ids is None
+            else np.asarray(model_ids, dtype=np.int32)
+        )
+        self.request_ids = (
+            np.arange(n, dtype=np.int64)
+            if request_ids is None
+            else np.asarray(request_ids, dtype=np.int64)
+        )
+        self.priorities = (
+            None if priorities is None else np.asarray(priorities, dtype=np.int64)
+        )
+        self.deadlines = (
+            None if deadlines is None else np.asarray(deadlines, dtype=np.float64)
+        )
+        self.prefill_tokens = (
+            None
+            if prefill_tokens is None
+            else np.asarray(prefill_tokens, dtype=np.int64)
+        )
+        self.max_new_tokens = (
+            None
+            if max_new_tokens is None
+            else np.asarray(max_new_tokens, dtype=np.int64)
+        )
+        self.status = np.full(n, PENDING, dtype=np.int8)
+        # Payloads: a round-robin pool (trace convention, request i gets
+        # pool[i % len(pool)]) or a full per-request list — never both.
+        self.payload_pool = list(payload_pool) if payload_pool is not None else None
+        self.payload_list = list(payload_list) if payload_list is not None else None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace,
+        model: str = "default",
+        payloads: Optional[Sequence] = None,
+        priorities: Optional[Sequence[int]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        prefill_tokens: Optional[Sequence[int]] = None,
+        max_new_tokens: Optional[Sequence[int]] = None,
+    ) -> "RequestStore":
+        """Columnar equivalent of :func:`repro.serving.engine.requests_from_trace`.
+
+        Same semantics, zero ``Request`` objects: metadata pools attach
+        round-robin in arrival order, ``deadlines`` entries are relative
+        SLOs (the column stores ``arrival + slo``, elementwise — the exact
+        IEEE sum the eager constructor computes per request).
+        """
+        if payloads is not None and len(payloads) == 0:
+            raise ValueError("payloads must be non-empty (or None for no payloads)")
+        if priorities is not None and len(priorities) == 0:
+            raise ValueError("priorities must be non-empty (or None)")
+        if deadlines is not None and len(deadlines) == 0:
+            raise ValueError("deadlines must be non-empty (or None)")
+        if prefill_tokens is not None and len(prefill_tokens) == 0:
+            raise ValueError("prefill_tokens must be non-empty (or None)")
+        if max_new_tokens is not None and len(max_new_tokens) == 0:
+            raise ValueError("max_new_tokens must be non-empty (or None)")
+        if hasattr(trace, "sorted_arrivals"):
+            arrivals = trace.sorted_arrivals()
+        else:
+            arrivals = np.sort(np.asarray(trace.arrival_times, dtype=np.float64))
+        n = len(arrivals)
+        deadline_col = None
+        if deadlines is not None:
+            slo = _roundrobin_column(
+                [np.nan if value is None else float(value) for value in deadlines],
+                n,
+                np.float64,
+            )
+            deadline_col = arrivals + slo
+        return cls(
+            arrivals,
+            model_names=[model],
+            priorities=(
+                _roundrobin_column(priorities, n, np.int64)
+                if priorities is not None
+                else None
+            ),
+            deadlines=deadline_col,
+            prefill_tokens=(
+                _roundrobin_column(prefill_tokens, n, np.int64)
+                if prefill_tokens is not None
+                else None
+            ),
+            max_new_tokens=(
+                _roundrobin_column(max_new_tokens, n, np.int64)
+                if max_new_tokens is not None
+                else None
+            ),
+            payload_pool=payloads,
+        )
+
+    @classmethod
+    def from_requests(cls, requests: Sequence) -> "RequestStore":
+        """Columnarize explicit :class:`Request` objects (arrival-sorted)."""
+        order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
+        ordered = [requests[i] for i in order]
+        names: List[str] = []
+        name_ids: Dict[str, int] = {}
+        model_ids = np.empty(len(ordered), dtype=np.int32)
+        for i, request in enumerate(ordered):
+            model_id = name_ids.get(request.model)
+            if model_id is None:
+                model_id = name_ids[request.model] = len(names)
+                names.append(request.model)
+            model_ids[i] = model_id
+        payload_list = None
+        if any(request.payload is not None for request in ordered):
+            payload_list = [request.payload for request in ordered]
+        return cls(
+            np.asarray([r.arrival_time for r in ordered], dtype=np.float64),
+            model_names=names,
+            model_ids=model_ids,
+            request_ids=np.asarray(
+                [r.request_id for r in ordered], dtype=np.int64
+            ),
+            priorities=np.asarray([r.priority for r in ordered], dtype=np.int64),
+            deadlines=np.asarray(
+                [np.nan if r.deadline is None else float(r.deadline) for r in ordered],
+                dtype=np.float64,
+            ),
+            prefill_tokens=np.asarray(
+                [r.prefill_tokens for r in ordered], dtype=np.int64
+            ),
+            max_new_tokens=np.asarray(
+                [r.max_new_tokens for r in ordered], dtype=np.int64
+            ),
+            payload_list=payload_list,
+        )
+
+    # -- column access --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def single_model(self) -> Optional[str]:
+        """The one model every request targets, or ``None`` if mixed."""
+        if len(self.model_names) == 1:
+            return self.model_names[0]
+        return None
+
+    def model_name(self, i: int) -> str:
+        return self.model_names[int(self.model_ids[i])]
+
+    def model_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of requests targeting ``name`` (vectorized)."""
+        try:
+            model_id = self.model_names.index(name)
+        except ValueError:
+            return np.zeros(len(self), dtype=bool)
+        if len(self.model_names) == 1:
+            return np.ones(len(self), dtype=bool)
+        return self.model_ids == model_id
+
+    def model_name_list(self) -> List[str]:
+        """Per-request model names (materializes one list of shared strings)."""
+        return [self.model_names[model_id] for model_id in self.model_ids.tolist()]
+
+    def deadline_flags(self) -> Optional[np.ndarray]:
+        """Boolean mask of deadline-carrying requests (None when no column)."""
+        if self.deadlines is None:
+            return None
+        return ~np.isnan(self.deadlines)
+
+    def payload(self, i: int):
+        if self.payload_pool is not None:
+            return self.payload_pool[i % len(self.payload_pool)]
+        if self.payload_list is not None:
+            return self.payload_list[i]
+        return None
+
+    # -- view materialization -------------------------------------------
+    def request(self, i: int):
+        """Materialize the :class:`~repro.serving.engine.Request` view of row ``i``."""
+        from repro.serving.engine import Request
+
+        i = int(i)
+        deadline = None
+        if self.deadlines is not None:
+            value = self.deadlines[i]
+            if not np.isnan(value):
+                deadline = float(value)
+        return Request(
+            arrival_time=float(self.arrivals[i]),
+            model=self.model_names[int(self.model_ids[i])],
+            request_id=int(self.request_ids[i]),
+            payload=self.payload(i),
+            priority=int(self.priorities[i]) if self.priorities is not None else 0,
+            deadline=deadline,
+            prefill_tokens=(
+                int(self.prefill_tokens[i]) if self.prefill_tokens is not None else 0
+            ),
+            max_new_tokens=(
+                int(self.max_new_tokens[i]) if self.max_new_tokens is not None else 0
+            ),
+        )
+
+
+class LazyRequests(_SequenceABC):
+    """Zero-copy ``Sequence[Request]`` view over a :class:`RequestStore`.
+
+    Rows are arrival-sorted (the store invariant), so the engine skips the
+    admission re-sort and aliases ``store.arrivals`` directly.  Indexing
+    materializes one transient :class:`~repro.serving.engine.Request`;
+    nothing holds the views alive, so peak RSS stays O(columns) instead of
+    O(requests x object overhead).
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: RequestStore) -> None:
+        self.store = store
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.store.request(i) for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return self.store.request(i)
+
+
+# ----------------------------------------------------------------------
+# Columnar batch ledger
+# ----------------------------------------------------------------------
+class BatchLedger(_SequenceABC):
+    """Columnar ``Sequence[BatchRecord]`` (single model/mode/ratio cohort).
+
+    The columnar FIFO core emits one row per batch into parallel arrays;
+    record objects materialize lazily on indexing, so a million-batch run
+    stores five arrays instead of a million dataclass instances.
+    """
+
+    __slots__ = ("model", "mode", "ratio", "starts", "finishes", "sizes",
+                 "servers", "queue_depths")
+
+    def __init__(
+        self,
+        model: str,
+        mode: str,
+        ratio: float,
+        starts: np.ndarray,
+        finishes: np.ndarray,
+        sizes: np.ndarray,
+        servers: np.ndarray,
+        queue_depths: np.ndarray,
+    ) -> None:
+        self.model = model
+        self.mode = mode
+        self.ratio = float(ratio)
+        self.starts = np.asarray(starts, dtype=np.float64)
+        self.finishes = np.asarray(finishes, dtype=np.float64)
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.servers = np.asarray(servers, dtype=np.int64)
+        self.queue_depths = np.asarray(queue_depths, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __getitem__(self, index):
+        from repro.serving.engine import BatchRecord
+
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return BatchRecord(
+            model=self.model,
+            start=float(self.starts[i]),
+            finish=float(self.finishes[i]),
+            size=int(self.sizes[i]),
+            ratio=self.ratio,
+            mode=self.mode,
+            server=int(self.servers[i]),
+            queue_depth=int(self.queue_depths[i]),
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BatchLedger):
+            return (
+                self.model == other.model
+                and self.mode == other.mode
+                and self.ratio == other.ratio
+                and np.array_equal(self.starts, other.starts)
+                and np.array_equal(self.finishes, other.finishes)
+                and np.array_equal(self.sizes, other.sizes)
+                and np.array_equal(self.servers, other.servers)
+                and np.array_equal(self.queue_depths, other.queue_depths)
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                self[i] == other[i] for i in range(len(self))
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable container semantics, like list
+
+    def append(self, record) -> None:
+        """Grow the ledger by one (already-materialized) record.
+
+        Rare slow path — only control-plane code appends after a fast run
+        (the hot loop never does); O(n) per call, so callers batching many
+        appends should rebuild the arrays instead.
+        """
+        if record.model != self.model or record.mode != self.mode or (
+            float(record.ratio) != self.ratio
+        ):
+            raise ValueError("BatchLedger holds a single model/mode/ratio cohort")
+        self.starts = np.append(self.starts, float(record.start))
+        self.finishes = np.append(self.finishes, float(record.finish))
+        self.sizes = np.append(self.sizes, int(record.size))
+        self.servers = np.append(self.servers, int(record.server))
+        self.queue_depths = np.append(self.queue_depths, int(record.queue_depth))
+
+
+# ----------------------------------------------------------------------
+# Columnar FIFO fast core
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnarFifoRun:
+    """Everything a columnar FIFO sweep produced, still in columns.
+
+    ``seg_sizes``/``seg_finishes`` partition the arrival order into
+    consecutive segments — one per batch (finish time) and one per drop
+    cohort (``nan``) — so per-request latencies reconstruct vectorized via
+    :func:`per_request_latencies` without a per-request loop.
+    """
+
+    starts: np.ndarray
+    finishes: np.ndarray
+    sizes: np.ndarray
+    servers: np.ndarray
+    queue_depths: np.ndarray
+    seg_sizes: np.ndarray
+    seg_finishes: np.ndarray
+    drop_times: np.ndarray          # one entry per drop cohort
+    drop_los: np.ndarray            # cohort position range [lo, hi) ...
+    drop_his: np.ndarray            # ... in arrival order
+    dropped: int
+
+
+def run_fifo_columnar(
+    arrivals: np.ndarray,
+    free_at: List[float],
+    busy: List[float],
+    active: Sequence[int],
+    latency_tables: Dict[int, Sequence[float]],
+    max_batch: int,
+    drop_after: Optional[float],
+) -> ColumnarFifoRun:
+    """Sweep sorted ``arrivals`` through the FIFO dispatch rule, columnar.
+
+    Bit-identical to the object loop in
+    :meth:`repro.serving.engine.ServingEngine._step_fifo` with the seed
+    argmin-free-clock rule: same ``start = max(free, arrival)``, same
+    ``bisect_right`` admission boundary, same expired-prefix drop predicate,
+    same at-least-one batch rule, and ``finish = start + service`` with the
+    *same* service times (``latency_tables[server][size]`` must be the
+    executor's ``batch_latency`` evaluated per size).  ``free_at``/``busy``
+    are mutated in place, exactly as the object loop leaves them.
+
+    The loop runs over a plain Python float list (numpy scalar extraction
+    per element is what makes the object loop slow); all per-request work
+    is deferred to the vectorized epilogue.
+    """
+    arr = arrivals.tolist()
+    n = len(arr)
+    pos = 0
+    starts: List[float] = []
+    finishes: List[float] = []
+    sizes: List[int] = []
+    servers: List[int] = []
+    depths: List[int] = []
+    drop_times: List[float] = []
+    drop_los: List[int] = []
+    drop_his: List[int] = []
+    dropped = 0
+
+    active_list = sorted(active)
+    single = len(active_list) == 1
+    only = active_list[0] if single else -1
+    table = latency_tables[only] if single else None
+    # Free-clock heap: (free_at, server) pops the earliest-free server,
+    # ties by lowest id — exactly ``min(active, key=free_at.__getitem__)``
+    # over the ascending active list, in O(log K) with no key calls.
+    clock_heap = [(free_at[server], server) for server in active_list]
+    heapq.heapify(clock_heap)
+    replace = heapq.heapreplace
+    push_right = bisect.bisect_right
+    push_left = bisect.bisect_left
+    starts_append = starts.append
+    finishes_append = finishes.append
+    sizes_append = sizes.append
+    servers_append = servers.append
+    depths_append = depths.append
+
+    while pos < n:
+        first_arrival = arr[pos]
+        if single:
+            server = only
+            free = free_at[only]
+        else:
+            free, server = clock_heap[0]
+        start = free if free >= first_arrival else first_arrival
+        # Galloping admission boundary: most batches admit only a few
+        # requests, so bracket [pos, hi) by doubling steps before the
+        # bisect — O(log(backlog)) instead of O(log n) per batch, with the
+        # identical boundary (bisect_right over the same sorted floats).
+        step = 8
+        lo = pos
+        hi = pos + step
+        while hi < n and arr[hi] <= start:
+            lo = hi
+            step += step
+            hi = pos + step
+        end_index = push_right(arr, start, lo, hi if hi < n else n)
+
+        if drop_after is not None:
+            # Expired prefix: searchsorted boundary + exact-predicate walk
+            # (the _expired_prefix_end arithmetic, on the float list).
+            cut = start - drop_after
+            fresh = push_left(arr, cut, pos, end_index)
+            while fresh > pos and not (start - arr[fresh - 1] > drop_after):
+                fresh -= 1
+            while fresh < end_index and (start - arr[fresh]) > drop_after:
+                fresh += 1
+            if fresh > pos:
+                dropped += fresh - pos
+                drop_times.append(start)
+                drop_los.append(pos)
+                drop_his.append(fresh)
+                pos = fresh
+                continue  # head changed: re-derive server and start
+
+        limit = pos + max_batch
+        if end_index < limit:
+            limit = end_index
+        if limit == pos:
+            limit = pos + 1  # serve at least the request that triggered us
+        size = limit - pos
+        service = table[size] if single else latency_tables[server][size]
+        finish = start + service
+
+        starts_append(start)
+        finishes_append(finish)
+        sizes_append(size)
+        servers_append(server)
+        depths_append(end_index - pos)
+        busy[server] += service
+        free_at[server] = finish
+        if not single:
+            replace(clock_heap, (finish, server))
+        pos = limit
+
+    sizes_col = np.asarray(sizes, dtype=np.int64)
+    finishes_col = np.asarray(finishes, dtype=np.float64)
+    drop_lo_col = np.asarray(drop_los, dtype=np.int64)
+    drop_hi_col = np.asarray(drop_his, dtype=np.int64)
+    if len(drop_lo_col) == 0:
+        # No drop cohorts: the segment partition IS the batch sequence.
+        seg_sizes = sizes_col
+        seg_finishes = finishes_col
+    elif len(sizes_col) == 0:
+        seg_sizes = drop_hi_col - drop_lo_col
+        seg_finishes = np.full(len(drop_lo_col), np.nan)
+    else:
+        # Reconstruct the pos-ordered segment interleave (one segment per
+        # batch, one nan segment per drop cohort) from the absolute arrival
+        # positions each covers: batch k's first position is the
+        # ``cumsum``-th surviving (non-dropped) position, a drop cohort's
+        # is its recorded ``lo``.  All first-positions are distinct, so a
+        # plain merge sort of the two runs restores loop order.
+        served_mask = np.ones(n, dtype=bool)
+        for lo, hi in zip(drop_los, drop_his):
+            served_mask[lo:hi] = False
+        served_positions = np.flatnonzero(served_mask)
+        offsets = np.concatenate(([0], np.cumsum(sizes_col)[:-1]))
+        batch_first = served_positions[offsets]
+        order = np.argsort(
+            np.concatenate([batch_first, drop_lo_col]), kind="stable"
+        )
+        seg_sizes = np.concatenate([sizes_col, drop_hi_col - drop_lo_col])[order]
+        seg_finishes = np.concatenate(
+            [finishes_col, np.full(len(drop_lo_col), np.nan)]
+        )[order]
+
+    return ColumnarFifoRun(
+        starts=np.asarray(starts, dtype=np.float64),
+        finishes=finishes_col,
+        sizes=sizes_col,
+        servers=np.asarray(servers, dtype=np.int64),
+        queue_depths=np.asarray(depths, dtype=np.int64),
+        seg_sizes=seg_sizes,
+        seg_finishes=seg_finishes,
+        drop_times=np.asarray(drop_times, dtype=np.float64),
+        drop_los=drop_lo_col,
+        drop_his=drop_hi_col,
+        dropped=dropped,
+    )
+
+
+def per_request_latencies(
+    arrivals: np.ndarray, seg_sizes: np.ndarray, seg_finishes: np.ndarray
+) -> np.ndarray:
+    """Per-request latencies from segment columns, vectorized.
+
+    ``repeat(finish, size) - arrival`` performs the identical elementwise
+    IEEE subtraction the object loop's ``finish - slot_arrivals[slots]``
+    does per batch; drop segments carry ``nan`` finishes, which propagate
+    to the dropped requests exactly like the object path's ``nan`` store.
+    """
+    if len(seg_sizes) == 0:
+        return np.zeros(len(arrivals), dtype=np.float64)
+    return np.repeat(seg_finishes, seg_sizes) - arrivals
+
+
+# ----------------------------------------------------------------------
+# Streaming percentile estimators
+# ----------------------------------------------------------------------
+class P2Quantile:
+    """Jain & Chlamtac's P-squared streaming quantile estimator.
+
+    Tracks one quantile in O(1) memory (five markers) and O(1) per
+    observation — the telemetry-side alternative to buffering a window's
+    raw latency list.  Exact for the first five observations; afterwards
+    the parabolic marker update gives a few-percent estimate on smooth
+    distributions.
+    """
+
+    __slots__ = ("q", "_initial", "_heights", "_positions", "_desired",
+                 "_increments", "_count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = float(q)
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        q = self.q
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if self._heights:
+            self._update(value)
+            return
+        bisect.insort(self._initial, value)
+        if len(self._initial) == 5:
+            self._heights = list(self._initial)
+            self._positions = [0.0, 1.0, 2.0, 3.0, 4.0]
+            q = self.q
+            self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _update(self, x: float) -> None:
+        h = self._heights
+        n = self._positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        elif x < h[1]:
+            k = 0
+        elif x < h[2]:
+            k = 1
+        elif x < h[3]:
+            k = 2
+        else:
+            k = 3
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        desired = self._desired
+        increments = self._increments
+        for i in range(5):
+            desired[i] += increments[i]
+        for i in (1, 2, 3):
+            delta = desired[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if delta >= 0.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h = self._heights
+        n = self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h = self._heights
+        n = self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (``nan`` before any observation)."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return float("nan")
+        return float(
+            np.percentile(np.asarray(self._initial, dtype=np.float64), self.q * 100.0)
+        )
+
+
+class ReservoirSample:
+    """Fixed-capacity uniform reservoir (Vitter's algorithm R), vectorized.
+
+    Any-percentile queries over an unbounded stream in O(capacity) memory;
+    deterministic given the seed, so telemetry digests are reproducible
+    run to run.
+    """
+
+    __slots__ = ("capacity", "_rng", "_values", "_seen")
+
+    def __init__(self, capacity: int = 1024, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._values = np.empty(self.capacity, dtype=np.float64)
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return self._seen
+
+    def add(self, value: float) -> None:
+        self.extend(np.asarray([value], dtype=np.float64))
+
+    def extend(self, values: Sequence[float]) -> None:
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        cap = self.capacity
+        seen = self._seen
+        fill = min(max(cap - seen, 0), arr.size)
+        if fill:
+            self._values[seen:seen + fill] = arr[:fill]
+            seen += fill
+        rest = arr[fill:]
+        if rest.size:
+            # Element at global index m replaces a uniform slot in [0, m]
+            # when that slot lands inside the reservoir.
+            highs = np.arange(seen + 1, seen + rest.size + 1, dtype=np.int64)
+            slots = self._rng.integers(0, highs)
+            hits = np.nonzero(slots < cap)[0]
+            for i in hits.tolist():  # later hits overwrite earlier, in order
+                self._values[slots[i]] = rest[i]
+            seen += int(rest.size)
+        self._seen = seen
+
+    @property
+    def values(self) -> np.ndarray:
+        """The current sample (a copy of the filled prefix)."""
+        return self._values[: min(self._seen, self.capacity)].copy()
+
+    def percentile(self, percentile: float) -> float:
+        filled = self._values[: min(self._seen, self.capacity)]
+        if filled.size == 0:
+            return float("nan")
+        return float(np.percentile(filled, percentile))

@@ -57,11 +57,12 @@ removes (see ``examples/continuous_batching.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.data.traces import RequestTrace
+from repro.serving.core import ARRIVAL_CHUNK, EventCalendar
 from repro.serving.engine import Batch, Request
 from repro.serving.metrics import streaming_summary
 from repro.serving.policies import (
@@ -409,7 +410,16 @@ class _GenSession:
 
     def __init__(self, sequences: List[SequenceState], num_servers: int) -> None:
         self.sequences = sequences
-        self.waiting: List[int] = [seq.slot for seq in sequences]
+        self.waiting: Set[int] = {seq.slot for seq in sequences}
+        # Ready-ordered view of the waiting set, as ARRIVAL_CHUNK events.
+        # Entries are never removed in place: a slot that joined a batch
+        # (left ``waiting``) or migrated (new ``ready``) leaves its old
+        # entry stale, and readers discard any head entry whose payload no
+        # longer matches the live state (lazy deletion) — so the earliest
+        # ready time is an O(log n) peek instead of a full-queue scan.
+        self.ready_events = EventCalendar()
+        for seq in sequences:
+            self.ready_events.schedule(seq.ready, ARRIVAL_CHUNK, seq.slot)
         self.running: List[List[int]] = [[] for _ in range(num_servers)]
         self.free_at: List[float] = [0.0] * num_servers
         self.busy: List[float] = [0.0] * num_servers
@@ -674,7 +684,12 @@ class IterationScheduler:
             seq.ready = time + delay + transfer
             s.migrated += 1
         s.running[server] = []
-        s.waiting.extend(victims)
+        s.waiting.update(victims)
+        for slot in victims:
+            # Fresh calendar entry at the migrant's new ready time; the
+            # pre-migration entry (if any) is now stale and will be lazily
+            # discarded on peek.
+            s.ready_events.schedule(s.sequences[slot].ready, ARRIVAL_CHUNK, slot)
         if server in s.active:
             s.active.remove(server)
         return GenerationPreemption(iterations=killed, migrated=len(victims))
@@ -693,12 +708,27 @@ class IterationScheduler:
             ),
         )
 
+    def _min_ready(self, s: _GenSession) -> Optional[float]:
+        """Earliest ready time over the waiting set (calendar peek).
+
+        Discards stale calendar heads — slots that joined a batch, or whose
+        migration moved their ready time — until the head matches a live
+        waiting sequence.  Amortized O(log n): every entry is discarded at
+        most once across the whole run.
+        """
+        calendar = s.ready_events
+        while calendar:
+            event = calendar.peek()
+            slot = event.payload
+            if slot in s.waiting and s.sequences[slot].ready == event.time:
+                return event.time
+            calendar.pop()
+        return None
+
     def _next_server(self, s: _GenSession) -> Optional[Tuple[int, float]]:
         """(server, iteration start) of the earliest next iteration."""
         best: Optional[Tuple[float, int]] = None
-        min_ready = min(
-            (s.sequences[slot].ready for slot in s.waiting), default=None
-        )
+        min_ready = self._min_ready(s)
         for server in s.active:
             if s.running[server]:
                 candidate = s.free_at[server]

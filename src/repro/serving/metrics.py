@@ -40,6 +40,33 @@ def latency_percentile(latencies: Sequence[float], percentile: float) -> float:
     ]
 
 
+def streaming_percentile(sample, percentile: float) -> float:
+    """One percentile from either an exact sample or a streaming digest.
+
+    Accepts a latency array/sequence (delegates to
+    :func:`latency_percentile`) or a streaming estimator from
+    :mod:`repro.serving.core` — anything with a ``percentile(p)`` method
+    (:class:`~repro.serving.core.ReservoirSample`) or a single-quantile
+    ``value`` (:class:`~repro.serving.core.P2Quantile`, which answers only
+    the quantile it tracks and raises on any other).  The telemetry layer
+    stores digests instead of raw latencies when run at
+    ``latency_digest="reservoir"`` scale; this helper lets report code
+    treat both representations uniformly.
+    """
+    estimator = getattr(sample, "percentile", None)
+    if callable(estimator):
+        return float(estimator(percentile))
+    tracked = getattr(sample, "q", None)
+    if tracked is not None and hasattr(sample, "value"):
+        if abs(tracked * 100.0 - float(percentile)) > 1e-9:
+            raise ValueError(
+                f"P2 digest tracks q={tracked:g} "
+                f"(p{tracked * 100:g}), not p{percentile:g}"
+            )
+        return float(sample.value)
+    return latency_percentile(sample, percentile)
+
+
 def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
     """Median/p90/p99/mean/max summary of a latency sample (seconds).
 

@@ -56,9 +56,12 @@ without generation-specific scheduler code.
 
 from __future__ import annotations
 
-from typing import Protocol, Tuple, TYPE_CHECKING, runtime_checkable
+from typing import List, Protocol, Tuple, TYPE_CHECKING, runtime_checkable
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.core import RequestStore
     from repro.serving.engine import Request
 
 
@@ -89,11 +92,32 @@ class Scheduler(Protocol):
         ...
 
 
+def store_keys(
+    scheduler: "Scheduler", store: "RequestStore", slots: np.ndarray
+) -> List[Tuple]:
+    """Discipline keys for ``slots`` of a columnar store, vectorized.
+
+    Dispatches to the scheduler's ``keys(store, slots)`` when it defines
+    one (the built-in disciplines do — key extraction runs over the
+    store's columns, no ``Request`` objects); custom schedulers without a
+    vectorized form fall back to materializing each request view through
+    :meth:`~repro.serving.core.RequestStore.request`, which yields exactly
+    the same keys as the object path.
+    """
+    vectorized = getattr(scheduler, "keys", None)
+    if vectorized is not None:
+        return vectorized(store, slots)
+    return [scheduler.key(store.request(slot)) for slot in slots]
+
+
 class FifoScheduler:
     """First-in-first-out: the seed discipline (and the default)."""
 
     def key(self, request: "Request") -> Tuple:
         return ()  # the engine's arrival tie-breaker IS the discipline
+
+    def keys(self, store: "RequestStore", slots: np.ndarray) -> List[Tuple]:
+        return [()] * len(slots)
 
 
 class PriorityScheduler:
@@ -101,6 +125,13 @@ class PriorityScheduler:
 
     def key(self, request: "Request") -> Tuple:
         return (-request.priority,)
+
+    def keys(self, store: "RequestStore", slots: np.ndarray) -> List[Tuple]:
+        if store.priorities is None:
+            return [(0,)] * len(slots)
+        # tolist() yields Python ints: identical key values (and types) to
+        # the per-object ``-request.priority``.
+        return [(p,) for p in (-store.priorities[slots]).tolist()]
 
 
 class EdfScheduler:
@@ -115,3 +146,13 @@ class EdfScheduler:
     def key(self, request: "Request") -> Tuple:
         deadline = request.deadline
         return (deadline if deadline is not None else float("inf"),)
+
+    def keys(self, store: "RequestStore", slots: np.ndarray) -> List[Tuple]:
+        if store.deadlines is None:
+            return [(float("inf"),)] * len(slots)
+        # nan is the store's "no deadline" sentinel; the key space uses inf
+        # (sorts last), exactly like the object path.
+        column = store.deadlines[slots]
+        return [
+            (d,) for d in np.where(np.isnan(column), np.inf, column).tolist()
+        ]

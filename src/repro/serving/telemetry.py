@@ -76,6 +76,14 @@ class _WindowCell:
     deadline_total: int = 0
     deadline_met: int = 0
     latencies: List[float] = field(default_factory=list)
+    # Bulk-ingested latency chunks (one array per ingest, batch order
+    # preserved): the columnar fast path groups a whole run's latencies
+    # per cell in one vectorized pass instead of extending a float list
+    # per batch.  Queries concatenate list + chunks.
+    latency_chunks: List[np.ndarray] = field(default_factory=list)
+    # Streaming digest (ReservoirSample) replacing raw latencies when the
+    # bus runs with latency_digest="reservoir"; None in exact mode.
+    digest: Optional[object] = None
     # Streaming-generation signals (zero for one-shot workloads): generated
     # tokens emitted in the window and the TTFT samples of sequences whose
     # first token landed in it (see record_tokens).
@@ -103,6 +111,9 @@ class ServerWindowStats:
     latencies: np.ndarray = field(default_factory=lambda: np.zeros(0))
     tokens: int = 0
     ttft: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    # Streaming digest backing percentile queries when the bus runs in
+    # latency_digest mode (raw latencies stay empty then).
+    digest: Optional[object] = None
 
     @property
     def served_rate(self) -> float:
@@ -128,9 +139,19 @@ class ServerWindowStats:
         return self.deadline_met / self.deadline_total
 
     def latency_percentile(self, percentile: float) -> float:
+        if self.latencies.size == 0 and self.digest is not None:
+            return self.digest.percentile(percentile)
         return latency_percentile(self.latencies, percentile)
 
     def summary(self) -> Dict[str, float]:
+        if (
+            self.latencies.size == 0
+            and self.digest is not None
+            and len(self.digest) > 0
+        ):
+            stats = summarize_latencies(self.digest.values)
+            stats["count"] = float(len(self.digest))
+            return stats
         return summarize_latencies(self.latencies)
 
 
@@ -150,11 +171,27 @@ class TelemetryBus:
     decision was made).
     """
 
-    def __init__(self, window: float = 1.0, num_servers: int = 1) -> None:
+    def __init__(
+        self,
+        window: float = 1.0,
+        num_servers: int = 1,
+        latency_digest: Optional[str] = None,
+        digest_capacity: int = 1024,
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive (seconds)")
+        if latency_digest not in (None, "reservoir"):
+            raise ValueError(
+                "latency_digest must be None (exact) or 'reservoir' (streaming)"
+            )
         self.window = float(window)
         self.num_servers = int(num_servers)
+        # Exact mode (default) buffers per-window latencies for exact
+        # percentiles; "reservoir" keeps an O(digest_capacity) streaming
+        # sample per cell instead (bounded memory at million-request scale,
+        # approximate percentiles, deterministic per cell seed).
+        self.latency_digest = latency_digest
+        self.digest_capacity = int(digest_capacity)
         self._cells: Dict[Tuple[int, int], _WindowCell] = {}
         self.scale_events: List[ScaleEvent] = []
         self.fault_events: List["FaultEvent"] = []
@@ -164,6 +201,9 @@ class TelemetryBus:
         # time order even when a fault's strike time precedes the boundary
         # a scale decision was stamped with.
         self._timeline: List[Tuple[float, int, object]] = []
+        # Sorted-timeline cache with dirty-flag invalidation: appends mark
+        # it stale, timeline() re-sorts at most once per batch of appends.
+        self._timeline_sorted: Optional[List[object]] = None
         self.last_window = -1
 
     # ------------------------------------------------------------------
@@ -174,6 +214,7 @@ class TelemetryBus:
         self.scale_events.clear()
         self.fault_events.clear()
         self._timeline.clear()
+        self._timeline_sorted = None
         self.last_window = -1
 
     def window_index(self, time: float) -> int:
@@ -206,7 +247,12 @@ class TelemetryBus:
         cell.deadline_total += int(deadline_total)
         cell.deadline_met += int(deadline_met)
         if latencies is not None:
-            cell.latencies.extend(float(value) for value in latencies)
+            if self.latency_digest is not None:
+                self._digest_of(cell, record.server, self.window_index(record.start)).extend(
+                    np.asarray(latencies, dtype=np.float64)
+                )
+            else:
+                cell.latencies.extend(float(value) for value in latencies)
 
     def unrecord_batch(
         self,
@@ -238,12 +284,22 @@ class TelemetryBus:
         cell.queue_depth_sum -= int(record.queue_depth)
         cell.deadline_total -= int(deadline_total)
         cell.deadline_met -= int(deadline_met)
-        if latencies is not None:
+        if latencies is not None and self.latency_digest is None:
+            # Remove-by-value needs the raw list: fold bulk-ingested chunks
+            # back in first (rare path — preemption after a columnar run).
+            if cell.latency_chunks:
+                for chunk in cell.latency_chunks:
+                    cell.latencies.extend(chunk.tolist())
+                cell.latency_chunks.clear()
             for value in latencies:
                 try:
                     cell.latencies.remove(float(value))
                 except ValueError:
                     pass  # never recorded (bus attached mid-run)
+        # Digest mode cannot remove by value (a reservoir forgets what it
+        # replaced); counters above still rewind exactly, percentiles stay
+        # approximate — exact mode is the right setting for preemption-
+        # accurate percentile audits.
 
     def record_tokens(
         self,
@@ -305,11 +361,13 @@ class TelemetryBus:
     def record_scale_event(self, event: ScaleEvent) -> None:
         self.scale_events.append(event)
         self._timeline.append((float(event.time), len(self._timeline), event))
+        self._timeline_sorted = None
 
     def record_fault_event(self, event: "FaultEvent") -> None:
         """Append one applied fault injection to the run timeline."""
         self.fault_events.append(event)
         self._timeline.append((float(event.time), len(self._timeline), event))
+        self._timeline_sorted = None
 
     def timeline(self) -> List[object]:
         """Every scale *and* fault event, in deterministic time order.
@@ -318,11 +376,130 @@ class TelemetryBus:
         precedes a window boundary sorts before the scale decision stamped
         at the boundary, and same-instant events keep the order the control
         plane applied them in — so two runs of the same deterministic
-        workload return the identical interleaving.
+        workload return the identical interleaving.  The sorted view is
+        cached and invalidated on append, so per-window polling loops pay
+        O(events) per call instead of O(events log events).
         """
-        return [
-            event for _, _, event in sorted(self._timeline, key=lambda e: e[:2])
-        ]
+        if self._timeline_sorted is None:
+            self._timeline_sorted = [
+                event for _, _, event in sorted(self._timeline, key=lambda e: e[:2])
+            ]
+        return list(self._timeline_sorted)
+
+    # ------------------------------------------------------------------
+    # Bulk ingestion (columnar fast path)
+    # ------------------------------------------------------------------
+    def _digest_of(self, cell: _WindowCell, server: int, window: int):
+        """The cell's streaming digest, created on first use (deterministic seed)."""
+        if cell.digest is None:
+            from repro.serving.core import ReservoirSample
+
+            seed = (int(window) * 131071 + int(server) + 7) & 0x7FFFFFFF
+            cell.digest = ReservoirSample(self.digest_capacity, seed=seed)
+        return cell.digest
+
+    def ingest_columnar(
+        self,
+        *,
+        ratio: float,
+        starts: np.ndarray,
+        finishes: np.ndarray,
+        sizes: np.ndarray,
+        servers: np.ndarray,
+        queue_depths: np.ndarray,
+        latencies: Optional[np.ndarray] = None,
+        deadline_flags: Optional[np.ndarray] = None,
+        deadline_met: Optional[np.ndarray] = None,
+        drop_times: Optional[np.ndarray] = None,
+        drop_counts: Optional[np.ndarray] = None,
+        drop_misses: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk-ingest a columnar run into the same cells the hooks fill.
+
+        Equivalent to :meth:`record_batch` once per batch in chronological
+        order followed by :meth:`record_drops` per drop cohort: integer
+        counters sum exactly; float accumulators (busy seconds, ratio
+        weight) accumulate in the identical left-to-right order
+        (``np.bincount`` sums its input sequentially), so the per-cell
+        float sums are bit-identical to the per-event hooks; per-request
+        ``latencies`` (aligned with ``repeat(batch, sizes)``) group into
+        per-cell chunks preserving batch order.  ``deadline_flags`` /
+        ``deadline_met`` are per-request booleans (deadline-carrying, met).
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        nbatches = starts.size
+        if nbatches:
+            sizes = np.asarray(sizes, dtype=np.int64)
+            finishes = np.asarray(finishes, dtype=np.float64)
+            servers_col = np.asarray(servers, dtype=np.int64)
+            depths = np.asarray(queue_depths, dtype=np.int64)
+            windows = (starts / self.window).astype(np.int64)
+            codes = (servers_col << 32) | windows
+            uniq, inverse = np.unique(codes, return_inverse=True)
+            nbins = len(uniq)
+            served = np.bincount(inverse, weights=sizes, minlength=nbins)
+            batch_counts = np.bincount(inverse, minlength=nbins)
+            busy = np.bincount(inverse, weights=finishes - starts, minlength=nbins)
+            ratio_weight = np.bincount(
+                inverse, weights=float(ratio) * sizes.astype(np.float64),
+                minlength=nbins,
+            )
+            depth_sums = np.bincount(inverse, weights=depths, minlength=nbins)
+            req_cell = None
+            if latencies is not None or deadline_flags is not None:
+                req_cell = np.repeat(inverse, sizes)
+            if deadline_flags is not None:
+                dtotals = np.bincount(
+                    req_cell, weights=deadline_flags, minlength=nbins
+                )
+                dmets = np.bincount(req_cell, weights=deadline_met, minlength=nbins)
+            chunks: List[Optional[np.ndarray]] = [None] * nbins
+            if latencies is not None:
+                lat = np.asarray(latencies, dtype=np.float64)
+                order = np.argsort(req_cell, kind="stable")
+                sorted_lat = lat[order]
+                counts = np.bincount(req_cell, minlength=nbins)
+                offsets = np.zeros(nbins + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                for b in range(nbins):
+                    chunks[b] = sorted_lat[offsets[b]:offsets[b + 1]]
+            for b, code in enumerate(uniq.tolist()):
+                server = code >> 32
+                window = code & 0xFFFFFFFF
+                cell = self._cell(server, window)
+                cell.served += int(served[b])
+                cell.batches += int(batch_counts[b])
+                cell.busy += float(busy[b])
+                cell.ratio_weight += float(ratio_weight[b])
+                cell.queue_depth_sum += int(depth_sums[b])
+                if deadline_flags is not None:
+                    cell.deadline_total += int(dtotals[b])
+                    cell.deadline_met += int(dmets[b])
+                chunk = chunks[b]
+                if chunk is not None and chunk.size:
+                    if self.latency_digest is not None:
+                        self._digest_of(cell, server, window).extend(chunk)
+                    else:
+                        cell.latency_chunks.append(chunk)
+        if drop_times is not None and len(drop_times):
+            drop_windows = (
+                np.asarray(drop_times, dtype=np.float64) / self.window
+            ).astype(np.int64)
+            uniq_d, inverse_d = np.unique(drop_windows, return_inverse=True)
+            counts_d = np.bincount(
+                inverse_d, weights=np.asarray(drop_counts, dtype=np.float64),
+                minlength=len(uniq_d),
+            )
+            if drop_misses is not None:
+                misses_d = np.bincount(
+                    inverse_d, weights=np.asarray(drop_misses, dtype=np.float64),
+                    minlength=len(uniq_d),
+                )
+            for b, window in enumerate(uniq_d.tolist()):
+                cell = self._cell(CLUSTER, window)
+                cell.drops += int(counts_d[b])
+                if drop_misses is not None:
+                    cell.deadline_total += int(misses_d[b])
 
     # ------------------------------------------------------------------
     # Queries
@@ -336,6 +513,14 @@ class TelemetryBus:
         depth = (
             cell.queue_depth_sum / cell.batches if cell.batches > 0 else 0.0
         )
+        if cell.latency_chunks:
+            parts: List[np.ndarray] = []
+            if cell.latencies:
+                parts.append(np.asarray(cell.latencies, dtype=np.float64))
+            parts.extend(cell.latency_chunks)
+            latencies = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        else:
+            latencies = np.asarray(cell.latencies, dtype=np.float64)
         return ServerWindowStats(
             server=server,
             window=window,
@@ -350,9 +535,10 @@ class TelemetryBus:
             drops=cell.drops,
             deadline_total=cell.deadline_total,
             deadline_met=cell.deadline_met,
-            latencies=np.asarray(cell.latencies, dtype=np.float64),
+            latencies=latencies,
             tokens=cell.tokens,
             ttft=np.asarray(cell.ttft, dtype=np.float64),
+            digest=cell.digest,
         )
 
     def server_window(self, server: int, window: int) -> ServerWindowStats:
@@ -433,6 +619,11 @@ class TelemetryBus:
             merged.deadline_total += cell.deadline_total
             merged.deadline_met += cell.deadline_met
             merged.latencies.extend(cell.latencies)
+            merged.latency_chunks.extend(cell.latency_chunks)
+            if cell.digest is not None:
+                # Digest mode: fold each server's reservoir sample into the
+                # cluster view (approximate, like the digests themselves).
+                merged.latency_chunks.append(cell.digest.values)
             merged.tokens += cell.tokens
             merged.ttft.extend(cell.ttft)
             if server in active:

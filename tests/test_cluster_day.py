@@ -1,0 +1,110 @@
+"""Scaled-down ``cluster_day`` smoke for CI (PR 8).
+
+The full benchmark (``benchmarks/perf_smoke.bench_cluster_day``) pushes a
+>= 1M-request diurnal day through the columnar serving core under
+wall-clock and peak-RSS budgets.  CI machines are shared and slow, so this
+suite runs the same workload shape at ~1/20 scale (~50k requests) with a
+deliberately loose wall-clock ceiling: it catches an accidentally
+quadratic hot path or a broken fast-path dispatch, not a few-percent
+regression.  Runs as its own CI matrix entry so a blowup here points
+straight at the columnar core.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.traces import DiurnalTrace, RequestTrace
+from repro.serving import (
+    BatchingConfig,
+    ClusterEngine,
+    FaultSchedule,
+    FixedRatioPolicy,
+    ModeledExecutor,
+    ServerSpec,
+    ServiceTimeModel,
+    ServingEngine,
+)
+
+NIGHT_RATE = 150            # 1/20 of the benchmark's diurnal curve
+PEAK_RATE = 650
+DURATION = 130.0
+SEED = 8
+SERVERS = 8
+MAX_BATCH = 16
+DROP_AFTER = 0.1
+MIN_REQUESTS = 50_000
+WALL_CEILING_S = 20.0       # measured ~0.05 s; the ceiling flags blowups only
+
+SERVICE_MODEL = ServiceTimeModel()
+
+
+@pytest.fixture(scope="module")
+def day_trace():
+    return DiurnalTrace(
+        night_rate=NIGHT_RATE,
+        peak_rate=PEAK_RATE,
+        duration=DURATION,
+        period=DURATION,
+        num_phases=int(DURATION),
+        seed=SEED,
+    ).generate()
+
+
+def _engine(columnar=True, num_servers=SERVERS):
+    engine = ServingEngine(
+        BatchingConfig(max_batch=MAX_BATCH, drop_after=DROP_AFTER),
+        num_servers=num_servers,
+        columnar=columnar,
+    )
+    engine.register(
+        "m", ModeledExecutor(SERVICE_MODEL), policy=FixedRatioPolicy(0.5)
+    )
+    return engine
+
+
+def test_smoke_day_within_wall_ceiling(day_trace):
+    assert len(day_trace) >= MIN_REQUESTS
+    start = time.perf_counter()
+    outcome = _engine().run(day_trace, model="m")
+    wall = time.perf_counter() - start
+    assert wall <= WALL_CEILING_S
+    assert outcome.latencies.size + outcome.dropped == len(day_trace)
+    assert outcome.latencies.size > 0
+    # Every admitted-and-served request waited less than the drop horizon
+    # plus one full batch's service time.
+    assert float(np.nanmax(outcome.request_latencies)) < DROP_AFTER + 1.0
+
+
+def test_smoke_slice_parity_with_object_loop(day_trace):
+    arrivals = day_trace.sorted_arrivals()[:5000]
+    slice_trace = RequestTrace(np.asarray(arrivals), duration=float(arrivals[-1]))
+    fast = _engine(True).run(slice_trace, model="m")
+    slow = _engine(False).run(slice_trace, model="m")
+    assert np.array_equal(fast.request_latencies, slow.request_latencies, equal_nan=True)
+    assert list(fast.batch_sizes) == list(slow.batch_sizes)
+    assert fast.dropped == slow.dropped
+    assert fast.server_busy_times == slow.server_busy_times
+
+
+def test_smoke_faulted_cluster_day(day_trace):
+    """The stepped control loop (windows + faults) also clears the day."""
+    specs = [
+        ServerSpec(name=f"s{index}", speed=1.0, service_model=SERVICE_MODEL)
+        for index in range(SERVERS)
+    ]
+    schedule = FaultSchedule.single_crash(at=40.0, server=3, recover_at=90.0)
+    cluster = ClusterEngine(
+        specs,
+        batching=BatchingConfig(max_batch=MAX_BATCH, drop_after=DROP_AFTER),
+        fault_schedule=schedule,
+        window=1.0,
+    )
+    cluster.register("m", policy=FixedRatioPolicy(0.5))
+    start = time.perf_counter()
+    outcome = cluster.run(day_trace, model="m")
+    wall = time.perf_counter() - start
+    assert wall <= WALL_CEILING_S
+    assert outcome.result.latencies.size + outcome.result.dropped == len(day_trace)
+    assert [event.kind for event in outcome.fault_events] == ["crash", "recover"]
