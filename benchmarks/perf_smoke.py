@@ -141,6 +141,13 @@ DAY_WALL_BUDGET_S = 30.0    # generous ceiling; measured ~0.3-0.4 s
 DAY_PEAK_TRACED_MB = 512.0  # tracemalloc peak budget for the full-day run
 DAY_SPEEDUP_TARGET = 10.0   # columnar core vs object loop on the 100k slice
 
+# PR 9 observability overheads on the cluster_day workload: attaching the
+# tracing hooks but leaving them disabled must be free (the `tracer is
+# None` guards), and sampled tracing must stay cheap enough to leave on.
+OBS_SAMPLE_RATE = 0.01      # head-based sampling rate for the traced run
+OBS_OFF_OVERHEAD_PCT = 2.0  # tracer=None day vs the cluster_day baseline
+OBS_ON_OVERHEAD_PCT = 15.0  # sampled-tracer day vs the tracer=None day
+
 
 def build_runtime(name: str) -> tuple:
     """FlexiQ runtime (greedy selection: fast, deterministic) plus its data."""
@@ -526,11 +533,14 @@ def bench_continuous_batching() -> dict:
     }
 
 
-def _day_engine(columnar: bool = True, num_servers: int = DAY_SERVERS) -> ServingEngine:
+def _day_engine(
+    columnar: bool = True, num_servers: int = DAY_SERVERS, tracer=None
+) -> ServingEngine:
     engine = ServingEngine(
         BatchingConfig(max_batch=DAY_MAX_BATCH, drop_after=DAY_DROP_AFTER),
         num_servers=num_servers,
         columnar=columnar,
+        tracer=tracer,
     )
     engine.register(
         "m", ModeledExecutor(ServiceTimeModel()), policy=FixedRatioPolicy(0.5)
@@ -634,6 +644,106 @@ def bench_cluster_day() -> dict:
     }
 
 
+def bench_observability(day: dict) -> dict:
+    """Tracing overhead on the cluster_day workload (PR 9).
+
+    Re-runs the full diurnal day twice through the columnar core: once with
+    ``tracer=None`` (the disabled path — every hook is behind a ``tracer is
+    None`` guard, so this must match the ``cluster_day`` baseline to within
+    noise, gated at ``OBS_OFF_OVERHEAD_PCT``) and once with a sampled
+    :class:`~repro.obs.Tracer` at ``OBS_SAMPLE_RATE`` (batch spans always
+    recorded, per-request spans head-sampled; gated at
+    ``OBS_ON_OVERHEAD_PCT`` over the disabled run).  The traced run's spans
+    are exported to Chrome trace-event JSON and schema-validated, and the
+    run's metrics registry is serialized to Prometheus text exposition and
+    shape-checked — a malformed exporter fails the bench, not just a unit
+    test.
+    """
+    from repro.data.traces import DiurnalTrace
+    from repro.obs import (
+        Tracer,
+        prometheus_exposition,
+        registry_from_engine,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+
+    trace = DiurnalTrace(
+        night_rate=DAY_NIGHT_RATE,
+        peak_rate=DAY_PEAK_RATE,
+        duration=DAY_DURATION,
+        period=DAY_DURATION,
+        num_phases=int(DAY_DURATION),
+        seed=DAY_SEED,
+    ).generate()
+
+    off_wall = float("inf")
+    for _ in range(3):
+        engine = _day_engine(tracer=None)
+        start = time.perf_counter()
+        engine.run(trace, model="m")
+        off_wall = min(off_wall, time.perf_counter() - start)
+
+    on_wall = float("inf")
+    tracer = None
+    traced_result = None
+    for _ in range(3):
+        candidate = Tracer(sample_rate=OBS_SAMPLE_RATE)
+        engine = _day_engine(tracer=candidate)
+        start = time.perf_counter()
+        result = engine.run(trace, model="m")
+        elapsed = time.perf_counter() - start
+        if elapsed < on_wall:
+            on_wall, tracer, traced_result = elapsed, candidate, result
+
+    baseline = float(day["wall_seconds"])
+    off_overhead_pct = (off_wall - baseline) / baseline * 100.0
+    on_overhead_pct = (on_wall - off_wall) / off_wall * 100.0
+
+    chrome = to_chrome_trace(tracer)
+    try:
+        validate_chrome_trace(chrome)
+        trace_valid = True
+    except ValueError:
+        trace_valid = False
+
+    exposition = prometheus_exposition(registry_from_engine(traced_result))
+    prometheus_valid = exposition.endswith("\n") and all(
+        line.startswith(("# HELP ", "# TYPE "))
+        or (len(line.rsplit(" ", 1)) == 2 and _parses_float(line.rsplit(" ", 1)[1]))
+        for line in exposition.splitlines()
+        if line
+    )
+
+    counts = tracer.span_counts()
+    return {
+        "sample_rate": OBS_SAMPLE_RATE,
+        "requests": len(trace),
+        "day_baseline_s": baseline,
+        "tracer_off_wall_s": round(off_wall, 4),
+        "tracer_on_wall_s": round(on_wall, 4),
+        "off_overhead_pct": round(off_overhead_pct, 2),
+        "off_overhead_budget_pct": OBS_OFF_OVERHEAD_PCT,
+        "on_overhead_pct": round(on_overhead_pct, 2),
+        "on_overhead_budget_pct": OBS_ON_OVERHEAD_PCT,
+        "spans": len(tracer.store),
+        "execute_spans": counts["execute"],
+        "sampled_requests": counts["served"] + counts["dropped"],
+        "trace_events": len(chrome["traceEvents"]),
+        "trace_valid": trace_valid,
+        "prometheus_lines": len(exposition.splitlines()),
+        "prometheus_valid": bool(prometheus_valid),
+    }
+
+
+def _parses_float(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
 def bench_model(name: str, reps: int = 20) -> dict:
     runtime, dataset = build_runtime(name)
     x = Tensor(dataset.train_images[:BATCH])
@@ -669,6 +779,7 @@ SUMMARY_SECTIONS = (
     "failure_domains",
     "continuous_batching",
     "cluster_day",
+    "observability",
 )
 
 
@@ -813,6 +924,26 @@ def render(results: dict) -> str:
             f"{day['slice_speedup']:.1f}x (target {day['speedup_target']:g}x) | "
             f"K=1 FIFO bit-identical: {day['fifo_bit_identical']}"
         )
+    obs = results.get("observability")
+    if obs:
+        lines.append("")
+        lines.append(
+            f"Observability -- cluster day re-run, tracer sampling "
+            f"{obs['sample_rate']:g}"
+        )
+        lines.append(
+            f"{'overhead':>12} | off {obs['off_overhead_pct']:+.1f}% "
+            f"(budget {obs['off_overhead_budget_pct']:g}%) | "
+            f"on {obs['on_overhead_pct']:+.1f}% "
+            f"(budget {obs['on_overhead_budget_pct']:g}%)"
+        )
+        lines.append(
+            f"{'exports':>12} | {obs['spans']:,} spans -> "
+            f"{obs['trace_events']:,} trace events "
+            f"(valid: {obs['trace_valid']}) | "
+            f"{obs['prometheus_lines']} exposition lines "
+            f"(valid: {obs['prometheus_valid']})"
+        )
     return "\n".join(lines)
 
 
@@ -825,6 +956,7 @@ def main() -> dict:
     results["failure_domains"] = bench_failure_domains()
     results["continuous_batching"] = bench_continuous_batching()
     results["cluster_day"] = bench_cluster_day()
+    results["observability"] = bench_observability(results["cluster_day"])
     results["meta"] = {
         "benchmark": "prepared_kernels",
         "models": list(MODELS),

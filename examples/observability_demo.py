@@ -1,0 +1,170 @@
+"""Observability triad over the zone-outage scenario: traces, metrics, SLOs.
+
+Re-runs the warm-spare deployment from ``zone_outage.py`` — six servers in
+three zones, zone A failing as a unit at t=2s — with the ``repro.obs``
+subsystem attached:
+
+1. **Request-lifecycle tracing** — a sampled :class:`~repro.obs.Tracer`
+   records queued/execute/served spans plus the outage's preemption,
+   migration and retry hops, and the run exports to Chrome trace-event
+   JSON: load the written file at https://ui.perfetto.dev (or
+   ``chrome://tracing``) and the outage renders as per-server swimlanes
+   with fault, promotion and alert markers.
+2. **SLO burn-rate monitoring** — a :class:`~repro.obs.SloMonitor`
+   watches a deadline-attainment objective and a tight latency objective
+   at every control window; the outage torches the latency error budget
+   and the multi-window burn-rate rules page (fast+slow panes both over
+   threshold), landing :class:`~repro.obs.AlertEvent` markers on the
+   merged timeline next to the faults that caused them.
+3. **Metrics export** — the finished run populates a
+   :class:`~repro.obs.MetricsRegistry` and serializes to Prometheus text
+   exposition (scrapeable ``/metrics`` payload) and a JSON snapshot.
+
+Run with:  python examples/observability_demo.py [output_trace.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import zone_outage as zo  # noqa: E402  (scenario constants + builders)
+
+from repro.obs import (  # noqa: E402
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    Tracer,
+    prometheus_exposition,
+    registry_from_cluster,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.serving import (  # noqa: E402
+    BatchingConfig,
+    ClusterEngine,
+    RequeueAtHeadMigration,
+    StepCheckpoint,
+    WarmSparePool,
+)
+
+#: Tight latency objective the outage actually violates (the 0.8s deadline
+#: SLO survives thanks to the warm spares; the p99-style 150ms objective
+#: does not — exactly the gap burn-rate alerting is for).
+LATENCY_OBJECTIVE_SECONDS = 0.15
+SAMPLE_RATE = 0.05
+
+
+def build_observed_cluster(tracer: Tracer, monitor: SloMonitor) -> ClusterEngine:
+    """The zone_outage warm-spare deployment, with observability attached."""
+    cluster = ClusterEngine(
+        zo.build_specs(),
+        BatchingConfig(max_batch=64),
+        placer="spread",
+        warm_spares=WarmSparePool(
+            [4, 5], promotion_latency=zo.PROMOTION_LATENCY
+        ),
+        fault_schedule=zo.outage_schedule(),
+        migration=RequeueAtHeadMigration(delay=zo.MIGRATION_DELAY),
+        checkpoint=StepCheckpoint(steps=4),
+        window=zo.WINDOW,
+        tracer=tracer,
+        slo_monitor=monitor,
+    )
+    cluster.register("m", mode="int8")
+    return cluster
+
+
+def main() -> None:
+    out_path = Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else Path(tempfile.gettempdir()) / "observability_trace.json"
+    )
+    requests = zo.build_requests()
+    tracer = Tracer(sample_rate=SAMPLE_RATE)
+    monitor = SloMonitor(
+        objectives=[
+            SloObjective("deadline_attainment", target=zo.ATTAINMENT_TARGET),
+            SloObjective(
+                "latency_150ms",
+                target=0.99,
+                kind="latency",
+                latency_slo_seconds=LATENCY_OBJECTIVE_SECONDS,
+            ),
+        ],
+        # The default rule pair assumes a long horizon; this run is 6s of
+        # 0.25s windows, so the panes scale down (page: 1-window incident
+        # confirmed over 4; ticket: slower burn confirmed over 12).
+        rules=[
+            BurnRateRule(
+                threshold=14.4, fast_windows=1, slow_windows=4,
+                severity="page",
+            ),
+            BurnRateRule(
+                threshold=3.0, fast_windows=6, slow_windows=12,
+                severity="ticket",
+            ),
+        ],
+    )
+    print(
+        f"Observability demo: zone-outage warm-spare run, "
+        f"{len(requests)} requests, tracer sample_rate={SAMPLE_RATE}, "
+        f"zone A down t={zo.OUTAGE_AT:.0f}s..{zo.RECOVER_AT:.0f}s"
+    )
+    outcome = build_observed_cluster(tracer, monitor).run(requests=requests)
+
+    counts = tracer.span_counts()
+    print(
+        f"   Traced spans: {len(tracer.store)} total — "
+        f"{counts['execute']} execute, {counts['queued']} queued, "
+        f"{counts['served']} served, {counts['preempted']} preempted, "
+        f"{counts['migrate']} migrate, {counts['retry']} retry"
+    )
+    terminals = tracer.terminal_requests()
+    conserved = all(count == 1 for count in terminals.values())
+    print(
+        f"   Trace conservation: {len(terminals)} traced requests, "
+        f"one terminal each: {'yes' if conserved else 'NO'}"
+    )
+
+    print("   SLO burn-rate alerts (on the merged timeline):")
+    for alert in outcome.alert_events:
+        print(
+            f"     t={alert.time:5.2f}s  [{alert.severity:>6s}] "
+            f"{alert.objective}: burning {alert.burn_fast:.0f}x budget "
+            f"(fast) / {alert.burn_slow:.0f}x (slow), "
+            f"threshold {alert.threshold:g}x"
+        )
+    attainment = outcome.deadline_attainment()
+    print(
+        f"   Run outcome: deadline attainment {attainment * 100:.2f}% "
+        f"(target {zo.ATTAINMENT_TARGET:.0%}), p99 "
+        f"{outcome.p99_latency * 1e3:.0f}ms, {outcome.migrated} migrated"
+    )
+
+    trace = to_chrome_trace(
+        tracer,
+        timeline=outcome.timeline(),
+        server_names=[spec.name for spec in outcome.specs],
+    )
+    validate_chrome_trace(trace)
+    out_path.write_text(json.dumps(trace))
+    print(
+        f"   Perfetto trace written: {out_path} "
+        f"({len(trace['traceEvents'])} events; open at ui.perfetto.dev)"
+    )
+
+    registry = registry_from_cluster(outcome)
+    exposition = prometheus_exposition(registry)
+    print("   Prometheus exposition (head):")
+    for line in exposition.splitlines()[:8]:
+        print(f"     {line}")
+    print(f"     ... ({len(exposition.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

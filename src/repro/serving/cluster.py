@@ -511,6 +511,9 @@ class PredictiveFaultAutoscaler:
     _telemetry: Optional[TelemetryBus] = field(
         default=None, init=False, repr=False
     )
+    _pending_alerts: List[object] = field(
+        default_factory=list, init=False, repr=False
+    )
     last_reason: str = field(default="", init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -533,7 +536,23 @@ class PredictiveFaultAutoscaler:
         """Clear forecasts and hysteresis (called by the control plane per run)."""
         self._calm_windows = 0
         self._ewma.clear()
+        self._pending_alerts.clear()
         self.last_reason = ""
+
+    def observe_alerts(self, alerts: Sequence[object]) -> None:
+        """Receive freshly fired SLO burn-rate alerts (control-plane hook).
+
+        Page-severity alerts (:class:`repro.obs.slo.AlertEvent`, duck-typed)
+        queue as a scale-up trigger consumed by the next :meth:`decide` —
+        the burn-rate signal sees a budget-torching incident across the
+        whole error budget, which the single-window percentile check can
+        miss when each window is individually borderline.  Never called on
+        clusters without an SLO monitor, leaving behaviour unchanged.
+        """
+        self._pending_alerts.extend(
+            alert for alert in alerts
+            if getattr(alert, "severity", "page") == "page"
+        )
 
     def _collapsed_servers(self, window: int) -> List[int]:
         """Fold the window into the forecasts; return servers that collapsed."""
@@ -559,6 +578,19 @@ class PredictiveFaultAutoscaler:
 
     def decide(self, stats: ClusterWindowStats, active: int) -> int:
         self.last_reason = ""
+        if self._pending_alerts:
+            alert = self._pending_alerts[0]
+            self._pending_alerts.clear()
+            self._calm_windows = 0
+            # Fold the window into the forecasts even when the alert
+            # preempts the collapse check: recovery tracking must not stall.
+            self._collapsed_servers(stats.window)
+            self.last_reason = (
+                "slo burn-rate alert: "
+                f"{getattr(alert, 'objective', 'objective')} burning at "
+                f"{getattr(alert, 'burn_fast', 0.0):.1f}x budget"
+            )
+            return active + self.step
         collapsed = self._collapsed_servers(stats.window)
         if collapsed:
             self._calm_windows = 0
@@ -604,6 +636,7 @@ class ClusterResult:
     specs: List[ServerSpec]
     initial_active: int = 0
     fault_events: List[FaultEvent] = field(default_factory=list)
+    alert_events: List[object] = field(default_factory=list)
 
     @property
     def migrated(self) -> int:
@@ -616,8 +649,48 @@ class ClusterResult:
         return [event for event in self.scale_events if event.action == "promote"]
 
     def timeline(self) -> List[object]:
-        """Scale *and* fault events merged in deterministic time order."""
+        """Scale, fault *and* alert events merged in deterministic time order."""
         return self.telemetry.timeline()
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready report: engine aggregates + control-plane events."""
+        return {
+            "engine": self.result.to_json(),
+            "initial_active": int(self.initial_active),
+            "peak_active": int(self.peak_active),
+            "server_names": [spec.name for spec in self.specs],
+            "scale_events": [
+                {
+                    "time": float(event.time),
+                    "action": event.action,
+                    "server": int(event.server),
+                    "active_after": int(event.active_after),
+                    "reason": event.reason,
+                }
+                for event in self.scale_events
+            ],
+            "fault_events": [
+                {
+                    "time": float(event.time),
+                    "server": int(event.server),
+                    "kind": event.kind,
+                    "domain": event.domain,
+                }
+                for event in self.fault_events
+            ],
+            "alert_events": [
+                {
+                    "time": float(event.time),
+                    "objective": event.objective,
+                    "severity": event.severity,
+                    "burn_fast": float(event.burn_fast),
+                    "burn_slow": float(event.burn_slow),
+                    "threshold": float(event.threshold),
+                    "window": int(event.window),
+                }
+                for event in self.alert_events
+            ],
+        }
 
     def deadline_attainment(self) -> float:
         """Fraction of deadline-carrying requests that met their deadline."""
@@ -728,6 +801,8 @@ class ClusterEngine:
         min_domains: Optional[int] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         columnar: bool = True,
+        tracer=None,
+        slo_monitor=None,
     ) -> None:
         if not specs:
             raise ValueError("a cluster needs at least one ServerSpec")
@@ -795,6 +870,11 @@ class ClusterEngine:
         # its scoring mode from them lazily (placers are built before
         # registration happens).
         self._registered_modes: set = set()
+        # Opt-in observability (duck-typed; see repro.obs): a request
+        # tracer threaded into the engine, and an SLO burn-rate monitor
+        # evaluated at window boundaries.
+        self.tracer = tracer
+        self.slo_monitor = slo_monitor
         self.telemetry = TelemetryBus(window=window, num_servers=len(self.specs))
         self.engine = ServingEngine(
             batching=batching,
@@ -803,6 +883,7 @@ class ClusterEngine:
             placer=self.resolve_placer(placer),
             telemetry=self.telemetry,
             columnar=columnar,
+            tracer=tracer,
         )
         if self.model_floors is not None:
             # Floors only act through affinity scale-down; accepting them
@@ -971,6 +1052,10 @@ class ClusterEngine:
         if (trace is None) == (requests is None):
             raise ValueError("provide exactly one of trace or requests")
         self.telemetry.reset()
+        if self.tracer is not None and hasattr(self.tracer, "reset"):
+            self.tracer.reset()
+        if self.slo_monitor is not None:
+            self.slo_monitor.reset()
         if self.autoscaler is not None:
             if hasattr(self.autoscaler, "attach"):
                 # Telemetry-driven policies (PredictiveFaultAutoscaler) read
@@ -1004,7 +1089,13 @@ class ClusterEngine:
             # Spares start parked even without an autoscaler: crash-driven
             # promotion is the only thing that activates them.
             self.engine.set_active_servers(self._primaries)
-        control = self.autoscaler is not None or self.fault_schedule is not None
+        control = (
+            self.autoscaler is not None
+            or self.fault_schedule is not None
+            # An SLO monitor needs window boundaries even when nothing
+            # scales or faults: its burn rates read the closed windows.
+            or self.slo_monitor is not None
+        )
         boundaries = EventCalendar()
         if control:
             boundaries.schedule(self.telemetry.window, WINDOW_BOUNDARY, 0)
@@ -1070,20 +1161,34 @@ class ClusterEngine:
                 else len(self._primaries)
             ),
             fault_events=list(self.telemetry.fault_events),
+            alert_events=list(self.telemetry.alert_events),
         )
 
     def _close_window(self, window: int, boundary: float) -> None:
-        """Apply due fault injections, then one autoscaling decision.
+        """Apply due faults, evaluate SLO burn, then one autoscaling decision.
 
         Faults pop off the per-run calendar strictly *before* the boundary —
         a fault strikes mid-window but lands when the window closes, so the
         calendar is consumed here rather than merged with the boundary
         events (a merged heap would fire faults at their own timestamps,
-        mid-window, which is not the model).
+        mid-window, which is not the model).  The SLO monitor reads the
+        just-closed window next (alerts land on the timeline beside the
+        faults that caused them), and the autoscaler decides last — with
+        any fresh alerts already visible as an input signal.
         """
         if self._fault_calendar is not None:
             while self._fault_calendar.peek_time() < boundary:
                 self._apply_fault(self._fault_calendar.pop().payload, boundary)
+        if self.slo_monitor is not None:
+            alerts = self.slo_monitor.evaluate(
+                self.telemetry, window, self.engine.active_servers
+            )
+            for alert in alerts:
+                self.telemetry.record_alert_event(alert)
+            if alerts and self.autoscaler is not None and hasattr(
+                self.autoscaler, "observe_alerts"
+            ):
+                self.autoscaler.observe_alerts(alerts)
         if self.autoscaler is not None:
             self._autoscale(window, boundary)
 

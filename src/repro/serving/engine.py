@@ -399,6 +399,38 @@ class EngineResult:
             [r.finish_time for r in recorded], [r.deadline for r in recorded]
         )
 
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready report of the run (plain types only).
+
+        Aggregates, not raw per-request arrays: the summary statistics,
+        throughput, drop/migration counts and per-server busy times —
+        what a report pipeline or dashboard ingests.  Pair with
+        :func:`repro.obs.registry.registry_from_engine` for full metric
+        exports.
+        """
+        summary = {
+            key: (None if np.isnan(value) else float(value))
+            for key, value in self.summary().items()
+        }
+        attainment = self.deadline_attainment()
+        return {
+            "served": int(len(self.latencies)),
+            "dropped": int(self.dropped),
+            "migrated": int(self.migrated),
+            "batches": int(len(self.batch_records)),
+            "duration": float(self.duration),
+            "busy_time": float(self.busy_time),
+            "throughput": float(self.throughput),
+            "num_servers": int(self.num_servers),
+            "server_busy_times": [
+                float(seconds) for seconds in (self.server_busy_times or [])
+            ],
+            "latency": summary,
+            "deadline_attainment": (
+                None if np.isnan(attainment) else float(attainment)
+            ),
+        }
+
 
 def requests_from_trace(
     trace: RequestTrace,
@@ -572,6 +604,7 @@ class ServingEngine:
         placer: Optional[Placer] = None,
         telemetry: Optional["TelemetryBus"] = None,
         columnar: bool = True,
+        tracer=None,
     ) -> None:
         if num_servers < 1:
             raise ValueError("num_servers must be >= 1")
@@ -590,6 +623,10 @@ class ServingEngine:
         # Optional telemetry bus: receives per-batch/per-drop events for the
         # cluster control plane (see repro.serving.telemetry).
         self.telemetry = telemetry
+        # Optional request-lifecycle tracer (duck-typed; see repro.obs).
+        # None keeps every hot path on a single is-None branch per batch,
+        # preserving bit-identity with the untraced engine.
+        self.tracer = tracer
         self._fifo = scheduler is None or isinstance(scheduler, FifoScheduler)
         self._endpoints: Dict[str, _Endpoint] = {}
         self._session: Optional[_Session] = None
@@ -1020,6 +1057,8 @@ class ServingEngine:
                     deadline_met=deadline_met,
                     kill_time=time,
                 )
+            if self.tracer is not None:
+                self.tracer.on_preempt(record, slots, time)
             for slot in slots:
                 slot = int(slot)
                 s.latencies[slot] = 0.0
@@ -1076,6 +1115,7 @@ class ServingEngine:
                 )
         requeue_keys: List[float] = []
         requeue_slots: List[int] = []
+        requeue_priors: List[int] = []
         drop_slots: List[int] = []
         for migrant, key in zip(migrants, keys):
             if key is None:
@@ -1085,8 +1125,11 @@ class ServingEngine:
                 # becomes serviceable no earlier than the preemption time.
                 requeue_keys.append(max(float(key), time))
                 requeue_slots.append(migrant.slot)
+                requeue_priors.append(migrant.migrations)
                 s.migrations[migrant.slot] = s.migrations.get(migrant.slot, 0) + 1
                 s.migrated += 1
+        if self.tracer is not None and requeue_slots:
+            self.tracer.on_requeue(requeue_slots, requeue_priors, time, server)
         if drop_slots:
             self._drop(s, np.asarray(drop_slots, dtype=np.intp), time)
         if requeue_slots:
@@ -1128,6 +1171,30 @@ class ServingEngine:
                     if finish <= deadline:
                         met += 1
         return total, met
+
+    @staticmethod
+    def _slot_deadlines(s: _Session, slots: np.ndarray) -> Optional[np.ndarray]:
+        """Absolute deadlines for ``slots`` (``nan`` = none), or ``None``.
+
+        Only materialized when a tracer wants deadline-forced sampling —
+        the common traced path (sample_rate=1.0) never pays for it.
+        """
+        if s.store is not None:
+            column = s.store.deadlines
+            if column is None:
+                return None
+            return column[np.asarray(slots, dtype=np.int64)]
+        if s.request_objs is not None:
+            return np.asarray(
+                [
+                    float("nan")
+                    if s.request_objs[int(slot)].deadline is None
+                    else float(s.request_objs[int(slot)].deadline)
+                    for slot in slots
+                ],
+                dtype=np.float64,
+            )
+        return None
 
     @staticmethod
     def _merge_pending(s: _Session, keys: np.ndarray, slots: np.ndarray) -> None:
@@ -1294,6 +1361,18 @@ class ServingEngine:
             status[:num_requests] = SERVED
             for lo, hi in zip(run.drop_los.tolist(), run.drop_his.tolist()):
                 status[lo:hi] = DROPPED
+        if self.tracer is not None:
+            # Bulk span ingestion mirrors the object loop's spans; the
+            # position axis is the slot axis on an untouched session.
+            self.tracer.ingest_columnar(
+                run,
+                arrivals,
+                deadlines=(
+                    (s.store.deadlines if s.store is not None else None)
+                    if self.tracer.wants_deadlines
+                    else None
+                ),
+            )
         if self.telemetry is None:
             return
         # Bulk telemetry ingestion: per-request finish times come from the
@@ -1653,6 +1732,17 @@ class ServingEngine:
                 deadline_total=deadline_total,
                 deadline_met=deadline_met,
             )
+        if self.tracer is not None:
+            self.tracer.on_batch(
+                record,
+                slots,
+                s.slot_arrivals[slots],
+                deadlines=(
+                    self._slot_deadlines(s, slots)
+                    if self.tracer.wants_deadlines
+                    else None
+                ),
+            )
         if s.responses is not None:
             outputs = execution.outputs
             for position, slot in enumerate(slots):
@@ -1688,6 +1778,8 @@ class ServingEngine:
                     if s.request_objs[int(slot)].deadline is not None
                 )
             self.telemetry.record_drops(start, len(slots), deadline_misses=misses)
+        if self.tracer is not None:
+            self.tracer.on_drop(slots, s.slot_arrivals[slots], start)
         if s.responses is not None:
             for slot in slots:
                 slot = int(slot)

@@ -463,6 +463,7 @@ class IterationScheduler:
         scheduler: Optional[Scheduler] = None,
         telemetry=None,
         num_servers: int = 1,
+        tracer=None,
     ) -> None:
         if num_servers < 1:
             raise ValueError("num_servers must be >= 1")
@@ -490,6 +491,9 @@ class IterationScheduler:
             scheduler if scheduler is not None else FifoScheduler()
         )
         self.telemetry = telemetry
+        # Optional request-lifecycle tracer (duck-typed; see repro.obs):
+        # iteration spans, per-sequence terminals, preemption/migration hops.
+        self.tracer = tracer
         self._select = policy_selector(self.policy)
         self._session: Optional[_GenSession] = None
 
@@ -657,6 +661,11 @@ class IterationScheduler:
                 self.telemetry.unrecord_tokens(
                     server, record.start, record.tokens, undo.ttfts
                 )
+            if self.tracer is not None:
+                # The rewound iteration's span becomes `preempted`; the
+                # un-retired sequences' terminals are retracted (they will
+                # re-terminate when their decode resumes elsewhere).
+                self.tracer.on_preempt(record, undo.retired, time)
             del s.iterations[index]
             del s.undo[index]
             s.iter_count[server] -= 1
@@ -669,6 +678,13 @@ class IterationScheduler:
 
         restore = getattr(checkpoint, "restore_seconds", None)
         victims = list(s.running[server])
+        if self.tracer is not None and victims:
+            self.tracer.on_requeue(
+                victims,
+                [s.sequences[slot].migrations for slot in victims],
+                time,
+                server,
+            )
         for slot in victims:
             seq = s.sequences[slot]
             seq.migrations += 1
@@ -888,6 +904,25 @@ class IterationScheduler:
                 deadline_met=deadline_met,
             )
             self.telemetry.record_tokens(server, start, tokens, ttfts)
+        if self.tracer is not None:
+            self.tracer.on_iteration(record)
+            if retired:
+                self.tracer.on_served(
+                    retired,
+                    [s.sequences[slot].arrival for slot in retired],
+                    [s.sequences[slot].finish_time for slot in retired],
+                    server,
+                    deadlines=(
+                        [
+                            float("nan")
+                            if s.sequences[slot].request.deadline is None
+                            else float(s.sequences[slot].request.deadline)
+                            for slot in retired
+                        ]
+                        if self.tracer.wants_deadlines
+                        else None
+                    ),
+                )
         return record
 
     # ------------------------------------------------------------------

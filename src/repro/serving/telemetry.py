@@ -195,6 +195,7 @@ class TelemetryBus:
         self._cells: Dict[Tuple[int, int], _WindowCell] = {}
         self.scale_events: List[ScaleEvent] = []
         self.fault_events: List["FaultEvent"] = []
+        self.alert_events: List[object] = []
         # Unified event timeline: (time, seq, event) for every scale *and*
         # fault event, in application order (seq).  timeline() sorts by
         # (time, seq), so interleaved events come back in deterministic
@@ -213,6 +214,7 @@ class TelemetryBus:
         self._cells.clear()
         self.scale_events.clear()
         self.fault_events.clear()
+        self.alert_events.clear()
         self._timeline.clear()
         self._timeline_sorted = None
         self.last_window = -1
@@ -369,8 +371,19 @@ class TelemetryBus:
         self._timeline.append((float(event.time), len(self._timeline), event))
         self._timeline_sorted = None
 
+    def record_alert_event(self, event: object) -> None:
+        """Append one SLO burn-rate alert to the run timeline.
+
+        ``event`` is an :class:`repro.obs.slo.AlertEvent` (duck-typed here
+        so the serving layer stays import-free of ``repro.obs``); it lands
+        next to scale/fault events in :meth:`timeline`.
+        """
+        self.alert_events.append(event)
+        self._timeline.append((float(event.time), len(self._timeline), event))
+        self._timeline_sorted = None
+
     def timeline(self) -> List[object]:
-        """Every scale *and* fault event, in deterministic time order.
+        """Every scale, fault *and* alert event, in deterministic time order.
 
         Sorted by ``(time, application order)``: a fault whose strike time
         precedes a window boundary sorts before the scale decision stamped
@@ -379,6 +392,16 @@ class TelemetryBus:
         workload return the identical interleaving.  The sorted view is
         cached and invalidated on append, so per-window polling loops pay
         O(events) per call instead of O(events log events).
+
+        Cache-invalidation audit (PR 8 cache vs PR 5/7 rewind paths): the
+        only mutators of ``_timeline`` are the three ``record_*_event``
+        appends above, each of which clears ``_timeline_sorted``.  The
+        preemption rewind paths — :meth:`unrecord_batch` and
+        :meth:`unrecord_tokens` — mutate per-(server, window) cells only
+        and never touch the timeline, so a cached sorted view stays valid
+        across any number of rewinds by construction; events themselves
+        are immutable records that are never retracted.  Pinned by
+        regression tests in ``tests/test_observability.py``.
         """
         if self._timeline_sorted is None:
             self._timeline_sorted = [

@@ -101,7 +101,7 @@ def random_schedule(seed: int) -> FaultSchedule:
     return FaultSchedule(events)
 
 
-def run_chaos(seed: int):
+def run_chaos(seed: int, tracer=None):
     specs = [
         ServerSpec(
             name=f"g{i}",
@@ -119,6 +119,7 @@ def run_chaos(seed: int):
         migration=RequeueAtHeadMigration(delay=0.01),
         checkpoint=StepCheckpoint(steps=4),
         window=WINDOW,
+        tracer=tracer,
     )
     cluster.register("m", mode="int8")
     trace = DiurnalTrace(
@@ -161,6 +162,45 @@ def test_chaos_is_reproducible(seed):
     assert [
         (e.time, e.server, e.kind) for e in first.fault_events
     ] == [(e.time, e.server, e.kind) for e in second.fault_events]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_traces_conserve_requests(seed):
+    """Sampled traces conserve requests under randomized fault schedules.
+
+    Every traced request must end in exactly one live terminal span
+    (served or dropped) even across preemptions, migrations and
+    checkpointed re-execution — preemption retracts the optimistic
+    terminal and the re-serve (or drop) writes the replacement.  The
+    traced run must also be byte-identical in outcome to the untraced
+    one: tracing observes, it never perturbs.
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer(sample_rate=0.25)
+    outcome, trace = run_chaos(seed, tracer=tracer)
+    untraced, _ = run_chaos(seed)
+    np.testing.assert_array_equal(
+        outcome.result.request_latencies, untraced.result.request_latencies
+    )
+
+    terminals = tracer.terminal_requests()
+    assert terminals, "sampling at 25% must trace someone"
+    assert all(count == 1 for count in terminals.values())
+    # Terminal kinds agree with the engine's verdict per request.
+    columns = tracer.spans()
+    responses = outcome.result.responses
+    from repro.obs import SPAN_DROPPED, SPAN_SERVED
+
+    for kind, slot in zip(columns["kind"], columns["request"]):
+        if kind == SPAN_SERVED:
+            assert not responses[int(slot)].dropped
+        elif kind == SPAN_DROPPED:
+            assert responses[int(slot)].dropped
+    # Migration hops in the trace match the engine's migration count:
+    # every successful requeue leaves exactly one migrate/retry instant.
+    counts = tracer.span_counts()
+    assert counts["migrate"] + counts["retry"] == outcome.result.migrated
 
 
 def test_generator_respects_blast_radius():

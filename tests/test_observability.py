@@ -1,0 +1,657 @@
+"""Tests for repro.obs: tracing, exporters, metrics registry, SLO burn rates.
+
+Also hosts the PR 9 satellite regressions: the telemetry timeline
+dirty-flag audit (rewind paths must not stale the sorted cache) and the
+``summarize_latencies``/``streaming_percentile`` digest/empty-input
+canonicalization.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.traces import PoissonTrace
+from repro.obs import (
+    SPAN_CANCELLED,
+    SPAN_DROPPED,
+    SPAN_EXECUTE,
+    SPAN_PREEMPTED,
+    SPAN_QUEUED,
+    SPAN_SERVED,
+    BurnRateRule,
+    MetricsRegistry,
+    SloMonitor,
+    SloObjective,
+    SpanStore,
+    Tracer,
+    json_snapshot,
+    prometheus_exposition,
+    registry_from_cluster,
+    registry_from_engine,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.serving.cluster import ClusterEngine, ServerSpec
+from repro.serving.engine import (
+    BatchingConfig,
+    BatchRecord,
+    ServingEngine,
+    requests_from_trace,
+)
+from repro.serving.executors import ModeledExecutor
+from repro.serving.metrics import streaming_percentile, summarize_latencies
+from repro.serving.policies import FixedRatioPolicy
+from repro.serving.resilience import (
+    FaultEvent,
+    FaultSchedule,
+    RequeueAtHeadMigration,
+)
+from repro.serving.simulator import ServiceTimeModel, ServingSimulator
+from repro.serving.telemetry import ScaleEvent, TelemetryBus
+from repro.serving.core import P2Quantile, ReservoirSample
+
+
+def _engine(tracer=None, columnar=True, num_servers=2, drop_after=None):
+    engine = ServingEngine(
+        BatchingConfig(max_batch=8, drop_after=drop_after),
+        num_servers=num_servers,
+        columnar=columnar,
+        tracer=tracer,
+    )
+    engine.register(
+        "m", ModeledExecutor(ServiceTimeModel()), policy=FixedRatioPolicy(0.5)
+    )
+    return engine
+
+
+def _trace(rate=400, duration=2.0, seed=3):
+    return PoissonTrace(rate, duration, seed=seed).generate()
+
+
+# ----------------------------------------------------------------------
+# Tracer: span recording, parity, sampling
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_object_and_columnar_paths_emit_identical_spans(self):
+        trace = _trace()
+        t_obj, t_col = Tracer(), Tracer()
+        r_obj = _engine(t_obj, columnar=False).run(trace, model="m")
+        r_col = _engine(t_col, columnar=True).run(trace, model="m")
+        np.testing.assert_array_equal(
+            r_obj.request_latencies, r_col.request_latencies
+        )
+        assert t_obj.span_counts() == t_col.span_counts()
+        obj, col = t_obj.spans(), t_col.spans()
+        for key in ("kind", "request", "server"):
+            order_o = np.lexsort((obj["start"], obj["request"], obj["kind"]))
+            order_c = np.lexsort((col["start"], col["request"], col["kind"]))
+            np.testing.assert_array_equal(obj[key][order_o], col[key][order_c])
+
+    def test_drop_spans_cover_every_drop(self):
+        trace = _trace(rate=3000, duration=1.0, seed=5)
+        tracer = Tracer(sample_rate=0.05)  # drops force-sampled regardless
+        result = _engine(
+            tracer, num_servers=1, drop_after=0.05
+        ).run(trace, model="m")
+        assert result.dropped > 0
+        counts = tracer.span_counts()
+        assert counts["dropped"] == result.dropped
+        terminals = tracer.terminal_requests()
+        assert all(count == 1 for count in terminals.values())
+
+    def test_sampling_is_deterministic_and_path_independent(self):
+        trace = _trace()
+        first, second = Tracer(sample_rate=0.1), Tracer(sample_rate=0.1)
+        _engine(first, columnar=True).run(trace, model="m")
+        _engine(second, columnar=False).run(trace, model="m")
+        assert first.span_counts() == second.span_counts()
+        served_first = first.spans()["request"][
+            first.spans()["kind"] == SPAN_SERVED
+        ]
+        served_second = second.spans()["request"][
+            second.spans()["kind"] == SPAN_SERVED
+        ]
+        np.testing.assert_array_equal(
+            np.sort(served_first), np.sort(served_second)
+        )
+
+    def test_sample_rate_zero_keeps_batch_spans_only(self):
+        tracer = Tracer(sample_rate=0.0, sample_drops=False)
+        _engine(tracer).run(_trace(), model="m")
+        counts = tracer.span_counts()
+        assert counts["execute"] > 0
+        assert counts["queued"] == counts["served"] == counts["dropped"] == 0
+
+    def test_sample_rate_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+    def test_traced_run_matches_untraced_run(self):
+        trace = _trace()
+        plain = _engine(None).run(trace, model="m")
+        traced = _engine(Tracer()).run(trace, model="m")
+        np.testing.assert_array_equal(
+            plain.request_latencies, traced.request_latencies
+        )
+
+    def test_engine_off_path_matches_seed_simulator(self):
+        # K=1 FIFO with observability off stays bit-identical to the seed.
+        trace = _trace()
+        seed_result = ServingSimulator(
+            ServiceTimeModel(), BatchingConfig(max_batch=8)
+        ).run(trace, "flexiq", ratio=0.5)
+        engine_result = _engine(None, num_servers=1).run(trace, model="m")
+        np.testing.assert_array_equal(
+            seed_result.latencies, engine_result.latencies
+        )
+
+    def test_preemption_rewrites_spans_and_retracts_terminals(self):
+        tracer = Tracer()
+        engine = _engine(tracer, columnar=False, num_servers=2)
+        engine.start(trace=_trace(rate=300, duration=1.0), model="m")
+        while True:
+            record = engine.step()
+            if record is None or record.start > 0.3:
+                break
+        report = engine.preempt_server(
+            0, 0.3, policy=RequeueAtHeadMigration(delay=0.01)
+        )
+        engine.finish()
+        counts = tracer.span_counts()
+        if report.batches:
+            assert counts["preempted"] == report.batches
+            assert counts["migrate"] == report.migrated
+            assert counts["cancelled"] > 0
+        terminals = tracer.terminal_requests()
+        assert all(count == 1 for count in terminals.values())
+
+    def test_reset_clears_spans(self):
+        tracer = Tracer()
+        _engine(tracer).run(_trace(), model="m")
+        assert len(tracer.store) > 0
+        tracer.reset()
+        assert len(tracer.store) == 0
+        assert tracer.terminal_requests() == {}
+
+
+class TestSpanStore:
+    def test_point_and_bulk_appends_unify(self):
+        store = SpanStore()
+        store.append(SPAN_EXECUTE, -1, 0, 0.0, 1.0, 4.0)
+        store.extend(
+            SPAN_SERVED,
+            np.asarray([1, 2]),
+            np.asarray([0, 0]),
+            np.asarray([1.0, 1.0]),
+            np.asarray([1.0, 1.0]),
+            np.asarray([0.5, 0.6]),
+        )
+        assert len(store) == 3
+        columns = store.columns()
+        np.testing.assert_array_equal(
+            columns["kind"], [SPAN_EXECUTE, SPAN_SERVED, SPAN_SERVED]
+        )
+        # A point append after a bulk chunk folds the chunk (row identity).
+        row = store.append(SPAN_QUEUED, 3, 1, 0.0, 2.0, 2.0)
+        assert row == 3
+        store.rewrite(1, SPAN_CANCELLED)
+        assert store.columns()["kind"][1] == SPAN_CANCELLED
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+class TestChromeTraceExport:
+    def test_export_is_valid_and_json_serializable(self):
+        tracer = Tracer()
+        _engine(tracer).run(_trace(), model="m")
+        trace = to_chrome_trace(tracer, server_names=["alpha", "beta"])
+        validate_chrome_trace(trace)
+        parsed = json.loads(json.dumps(trace))
+        assert parsed["traceEvents"]
+        names = {e["name"] for e in parsed["traceEvents"] if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names
+        labels = [
+            e["args"]["name"]
+            for e in parsed["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "alpha" in labels and "beta" in labels
+
+    def test_duration_events_live_on_server_lanes(self):
+        tracer = Tracer()
+        _engine(tracer).run(_trace(), model="m")
+        trace = to_chrome_trace(tracer)
+        executes = [
+            e for e in trace["traceEvents"]
+            if e["name"] == "execute" and e["ph"] == "X"
+        ]
+        assert executes
+        assert all(e["pid"] == 0 for e in executes)
+        queued = [
+            e for e in trace["traceEvents"]
+            if e["name"] == "queued" and e["ph"] == "X"
+        ]
+        assert queued
+        assert all(e["pid"] == 1 for e in queued)
+
+    def test_timeline_markers_render(self):
+        tracer = Tracer()
+        _engine(tracer).run(_trace(), model="m")
+        timeline = [
+            FaultEvent(time=0.5, server=0, kind="crash"),
+            ScaleEvent(time=0.6, action="add", server=1, active_after=2),
+        ]
+        trace = to_chrome_trace(tracer, timeline=timeline)
+        validate_chrome_trace(trace)
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "fault:crash" in names and "scale:add" in names
+
+    def test_cancelled_spans_are_not_exported(self):
+        store = SpanStore()
+        store.append(SPAN_SERVED, 0, 0, 1.0, 1.0, 1.0)
+        store.rewrite(0, SPAN_CANCELLED)
+        trace = to_chrome_trace(store)
+        assert not [
+            e for e in trace["traceEvents"] if e["name"] == "cancelled"
+        ]
+
+    def test_validator_rejects_malformed_traces(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+                     "ts": float("nan"), "dur": 1.0},
+                ]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1.0},
+                ]}
+            )
+
+
+# ----------------------------------------------------------------------
+# Metrics registry + exporters
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_semantics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total", "Requests.", ("model",))
+        counter.labels(model="a").inc()
+        counter.labels(model="a").inc(2)
+        counter.labels(model="b").inc()
+        assert dict(counter.samples()) == {("a",): 3.0, ("b",): 1.0}
+        with pytest.raises(ValueError):
+            counter.labels(model="a").inc(-1)
+        gauge = registry.gauge("active", "Active servers.")
+        gauge.set(4)
+        gauge.set(2)
+        assert dict(gauge.samples()) == {(): 2.0}
+        hist = registry.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        cells = dict(hist.samples())[()]
+        assert cells[:3] == [1.0, 1.0, 1.0]  # per-bucket + overflow
+        assert cells[-1] == pytest.approx(5.55)
+
+    def test_get_or_create_checks_type_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "a counter", ("k",))
+        assert registry.counter("x", labelnames=("k",)) is not None
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.counter("x", labelnames=("other",))
+        with pytest.raises(ValueError):
+            registry.counter("x").inc()  # labels required
+
+    def test_prometheus_exposition_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "Help with spaces.", ("l",)).labels(
+            l='with"quote'
+        ).inc(3)
+        registry.histogram("h", "Hist.", buckets=(0.1, 1.0)).observe(0.5)
+        text = prometheus_exposition(registry)
+        assert text.endswith("\n")
+        metrics = _parse_exposition(text)
+        assert metrics[("a_total", ('l="with\\"quote"',))] == 3.0
+        # Histogram buckets are cumulative and capped by +Inf == count.
+        assert metrics[("h_bucket", ('le="0.1"',))] == 0.0
+        assert metrics[("h_bucket", ('le="1"',))] == 1.0
+        assert metrics[("h_bucket", ('le="+Inf"',))] == 1.0
+        assert metrics[("h_count", ())] == 1.0
+        assert metrics[("h_sum", ())] == pytest.approx(0.5)
+
+    def test_json_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "C.", ("k",)).labels(k="v").inc()
+        registry.histogram("h", "H.", buckets=(1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(json_snapshot(registry)))
+        assert snapshot["c"]["samples"][0] == {
+            "labels": {"k": "v"}, "value": 1.0
+        }
+        assert snapshot["h"]["samples"][0]["count"] == 1.0
+
+    def test_registry_from_engine_and_result_to_json(self):
+        result = _engine(None).run(_trace(), model="m")
+        registry = registry_from_engine(result)
+        text = prometheus_exposition(registry)
+        metrics = _parse_exposition(text)
+        assert metrics[("repro_requests_served_total", ())] == float(
+            len(result.latencies)
+        )
+        assert metrics[
+            ("repro_request_latency_seconds_count", ())
+        ] == float(len(result.latencies))
+        report = json.loads(json.dumps(result.to_json()))
+        assert report["served"] == len(result.latencies)
+        assert report["latency"]["count"] == float(len(result.latencies))
+
+
+def _parse_exposition(text: str):
+    """Minimal Prometheus text-format parser (asserts syntactic shape)."""
+    metrics = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            if line.startswith("#"):
+                assert line.startswith("# HELP ") or line.startswith("# TYPE ")
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        if "{" in name_part:
+            name, rest = name_part.split("{", 1)
+            assert rest.endswith("}")
+            labels = tuple(rest[:-1].split(","))
+        else:
+            name, labels = name_part, ()
+        metrics[(name, labels)] = float(value)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate monitoring
+# ----------------------------------------------------------------------
+def _bus_with_window(window, *, served, met, drops=0, latencies=()):
+    """Record one synthetic window of traffic onto a fresh-enough bus."""
+    return _record_window(TelemetryBus(window=1.0), window, served=served,
+                          met=met, drops=drops, latencies=latencies)
+
+
+def _record_window(bus, window, *, served, met, drops=0, latencies=()):
+    start = window * bus.window + 0.1
+    record = BatchRecord(
+        "m", start, start + 0.1, served, 0.5, "flexiq", 0, 0
+    )
+    bus.record_batch(
+        record,
+        latencies=np.asarray(latencies if len(latencies) else [0.01] * served),
+        deadline_total=served,
+        deadline_met=met,
+    )
+    if drops:
+        bus.record_drops(start, drops, deadline_misses=drops)
+    return bus
+
+
+class TestSloMonitor:
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective("bad", target=1.0)
+        with pytest.raises(ValueError):
+            SloObjective("bad", target=0.99, kind="latency")
+        with pytest.raises(ValueError):
+            BurnRateRule(threshold=2.0, fast_windows=5, slow_windows=2)
+        with pytest.raises(ValueError):
+            SloMonitor(objectives=[])
+
+    def test_attainment_burn_fires_and_is_edge_triggered(self):
+        monitor = SloMonitor(
+            objectives=[SloObjective("att", target=0.99)],
+            rules=[BurnRateRule(threshold=5.0, fast_windows=1, slow_windows=2,
+                                severity="page")],
+        )
+        bus = _bus_with_window(0, served=100, met=100)
+        assert monitor.evaluate(bus, 0, [0]) == []
+        # 20% misses = burn 20x >= 5 on fast AND slow panes.
+        _record_window(bus, 1, served=100, met=80)
+        fired = monitor.evaluate(bus, 1, [0])
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.objective == "att" and alert.severity == "page"
+        assert alert.burn_fast == pytest.approx(20.0)
+        assert alert.time == pytest.approx(2.0)  # window 1 boundary
+        # Still burning: no re-fire while the alert is active.
+        _record_window(bus, 2, served=100, met=80)
+        assert monitor.evaluate(bus, 2, [0]) == []
+        # Recovery clears the firing state...
+        _record_window(bus, 3, served=100, met=100)
+        assert monitor.evaluate(bus, 3, [0]) == []
+        # ...so a fresh incident pages again.
+        _record_window(bus, 4, served=100, met=70)
+        assert len(monitor.evaluate(bus, 4, [0])) == 1
+        assert len(monitor.alerts) == 2
+
+    def test_latency_objective_counts_drops_as_violations(self):
+        monitor = SloMonitor(
+            objectives=[
+                SloObjective("lat", target=0.9, kind="latency",
+                             latency_slo_seconds=0.1),
+            ],
+            rules=[BurnRateRule(threshold=2.0, fast_windows=1, slow_windows=1,
+                                severity="page")],
+        )
+        # 50 fast + 30 slow + 20 drops: error = 50/100 = 5x the 10% budget.
+        bus = TelemetryBus(window=1.0)
+        _record_window(
+            bus, 0, served=80, met=80,
+            latencies=[0.01] * 50 + [0.5] * 30, drops=20,
+        )
+        fired = monitor.evaluate(bus, 0, [0])
+        assert len(fired) == 1
+        assert fired[0].burn_fast == pytest.approx(5.0)
+
+    def test_slow_pane_gates_single_window_spikes(self):
+        monitor = SloMonitor(
+            objectives=[SloObjective("att", target=0.99)],
+            rules=[BurnRateRule(threshold=5.0, fast_windows=1, slow_windows=4,
+                                severity="page")],
+        )
+        bus = TelemetryBus(window=1.0)
+        # Three clean windows, then one bad one: fast pane burns 20x but
+        # the slow pane dilutes to 5x-epsilon... make it clearly below.
+        for window in range(3):
+            _record_window(bus, window, served=100, met=100)
+            monitor.evaluate(bus, window, [0])
+        _record_window(bus, 3, served=100, met=99)  # 1% miss: burn 1x slow
+        assert monitor.evaluate(bus, 3, [0]) == []
+
+    def test_idle_windows_do_not_alert(self):
+        monitor = SloMonitor(objectives=[SloObjective("att", target=0.99)])
+        bus = TelemetryBus(window=1.0)
+        assert monitor.evaluate(bus, 0, [0]) == []
+
+    def test_cluster_run_places_alerts_on_timeline(self):
+        specs = [
+            ServerSpec(name=f"g{i}", speed=1000.0,
+                       executor=ModeledExecutor(ServiceTimeModel()))
+            for i in range(2)
+        ]
+        monitor = SloMonitor(
+            objectives=[SloObjective("att", target=0.99)],
+            rules=[BurnRateRule(threshold=2.0, fast_windows=1, slow_windows=2,
+                                severity="page")],
+        )
+        cluster = ClusterEngine(
+            specs,
+            BatchingConfig(max_batch=8),
+            fault_schedule=FaultSchedule(
+                [FaultEvent(time=0.8, server=0, kind="crash")]
+            ),
+            window=0.5,
+            slo_monitor=monitor,
+        )
+        cluster.register("m", mode="int8")
+        trace = _trace(rate=800, duration=3.0, seed=11)
+        requests = requests_from_trace(trace, model="m", deadlines=[0.05])
+        outcome = cluster.run(requests=requests)
+        assert outcome.alert_events, "the crash must torch the 0.05s budget"
+        timeline_alerts = [
+            event for event in outcome.timeline()
+            if hasattr(event, "objective")
+        ]
+        assert timeline_alerts == outcome.alert_events
+        times = [event.time for event in outcome.timeline()]
+        assert times == sorted(times)
+        report = json.loads(json.dumps(outcome.to_json()))
+        assert report["alert_events"]
+        registry = registry_from_cluster(outcome)
+        metrics = _parse_exposition(prometheus_exposition(registry))
+        assert metrics[(
+            "repro_slo_alerts_total",
+            ('objective="att"', 'severity="page"'),
+        )] >= 1.0
+
+    def test_autoscaler_consumes_alert_signal(self):
+        from repro.serving.cluster import PredictiveFaultAutoscaler
+
+        scaler = PredictiveFaultAutoscaler(slo_seconds=1.0)
+        monitor = SloMonitor(
+            objectives=[SloObjective("att", target=0.99)],
+            rules=[BurnRateRule(threshold=2.0, fast_windows=1, slow_windows=1,
+                                severity="page")],
+        )
+        bus = _bus_with_window(0, served=100, met=50)
+        alerts = monitor.evaluate(bus, 0, [0])
+        assert alerts
+        scaler.observe_alerts(alerts)
+        stats = bus.cluster_window(0, [0])
+        decided = scaler.decide(stats, active=2)
+        assert decided == 3
+        assert "burn-rate" in scaler.last_reason
+        # The signal is consumed: the next window decides normally.
+        assert scaler.decide(stats, active=2) != 3 or not scaler.last_reason
+
+
+# ----------------------------------------------------------------------
+# Satellite: telemetry timeline cache vs rewind paths
+# ----------------------------------------------------------------------
+class TestTimelineCacheInvalidation:
+    def test_rewinds_never_stale_the_cached_timeline(self):
+        bus = TelemetryBus(window=1.0, num_servers=2)
+        record = BatchRecord("m", 0.5, 0.7, 4, 0.5, "flexiq", 0, 3)
+        bus.record_batch(record, latencies=np.asarray([0.1] * 4))
+        bus.record_tokens(0, 0.5, 16, ttfts=[0.05])
+        bus.record_scale_event(
+            ScaleEvent(time=1.0, action="add", server=1, active_after=2)
+        )
+        bus.record_fault_event(FaultEvent(time=0.4, server=0, kind="crash"))
+        first = bus.timeline()  # build + cache the sorted view
+        assert [e.time for e in first] == [0.4, 1.0]
+        # Rewinds (the preemption paths) touch cells only; the cached
+        # timeline must remain correct — and identical — afterwards.
+        bus.unrecord_batch(record, latencies=np.asarray([0.1] * 4))
+        bus.unrecord_tokens(0, 0.5, 16, ttfts=[0.05])
+        assert bus.timeline() == first
+        stats = bus.server_window(0, 0)
+        assert stats.served == 0 and stats.tokens == 0
+
+    def test_every_event_kind_invalidates_the_cache(self):
+        from repro.obs import AlertEvent
+
+        bus = TelemetryBus(window=1.0)
+        bus.record_scale_event(
+            ScaleEvent(time=2.0, action="add", server=0, active_after=1)
+        )
+        assert [e.time for e in bus.timeline()] == [2.0]
+        # Each appender must drop the cache: earlier-timed events landing
+        # after a cached sort must still come back first.
+        bus.record_fault_event(FaultEvent(time=1.0, server=0, kind="crash"))
+        assert [e.time for e in bus.timeline()] == [1.0, 2.0]
+        bus.record_alert_event(
+            AlertEvent(time=0.5, objective="att", severity="page",
+                       burn_fast=10.0, burn_slow=10.0, threshold=2.0,
+                       window=0)
+        )
+        assert [e.time for e in bus.timeline()] == [0.5, 1.0, 2.0]
+        assert len(bus.alert_events) == 1
+        bus.reset()
+        assert bus.timeline() == [] and bus.alert_events == []
+
+    def test_timeline_correct_after_engine_preemption(self):
+        # End-to-end regression: preempt mid-run (rewinds fire), then
+        # record another event; the merged timeline stays sorted and
+        # complete.
+        bus = TelemetryBus(window=0.25, num_servers=2)
+        engine = ServingEngine(
+            BatchingConfig(max_batch=8), num_servers=2, telemetry=bus,
+            columnar=False,
+        )
+        engine.register(
+            "m", ModeledExecutor(ServiceTimeModel()),
+            policy=FixedRatioPolicy(0.5),
+        )
+        engine.start(trace=_trace(rate=300, duration=1.0), model="m")
+        bus.record_fault_event(FaultEvent(time=0.3, server=0, kind="crash"))
+        cached = bus.timeline()
+        while True:
+            record = engine.step()
+            if record is None or record.start > 0.3:
+                break
+        engine.preempt_server(
+            0, 0.3, policy=RequeueAtHeadMigration(delay=0.01)
+        )
+        assert bus.timeline() == cached
+        bus.record_fault_event(FaultEvent(time=0.5, server=0, kind="recover"))
+        engine.finish()
+        times = [event.time for event in bus.timeline()]
+        assert times == [0.3, 0.5]
+
+
+# ----------------------------------------------------------------------
+# Satellite: summarize_latencies / streaming_percentile canonical edges
+# ----------------------------------------------------------------------
+class TestMetricsEdgeCases:
+    def test_empty_inputs_agree_across_representations(self):
+        # Array, list and empty reservoir digest: nan percentiles, count 0.
+        for empty in ([], np.zeros(0), ReservoirSample(8)):
+            assert np.isnan(streaming_percentile(empty, 99))
+            summary = summarize_latencies(empty)
+            assert summary["count"] == 0.0
+            for key in ("median", "p90", "p99", "mean", "max"):
+                assert np.isnan(summary[key])
+        # Empty P2 digest: nan from streaming_percentile too.
+        assert np.isnan(streaming_percentile(P2Quantile(0.99), 99))
+
+    def test_digest_summary_matches_exact_on_small_samples(self):
+        values = [0.01, 0.02, 0.03, 0.04, 0.05]
+        digest = ReservoirSample(64)
+        digest.extend(np.asarray(values))
+        exact = summarize_latencies(values)
+        approx = summarize_latencies(digest)
+        assert approx == pytest.approx(exact)
+
+    def test_digest_count_reflects_observed_not_retained(self):
+        digest = ReservoirSample(4, seed=1)
+        digest.extend(np.linspace(0.0, 1.0, 100))
+        summary = summarize_latencies(digest)
+        assert summary["count"] == 100.0
+        assert len(digest.values) == 4
+
+    def test_p2_digest_summary_is_a_type_error(self):
+        digest = P2Quantile(0.99)
+        digest.add(0.5)
+        with pytest.raises(TypeError):
+            summarize_latencies(digest)
+        # ...but streaming_percentile answers its tracked quantile,
+        assert streaming_percentile(digest, 99) == pytest.approx(0.5)
+        # and refuses any other.
+        with pytest.raises(ValueError):
+            streaming_percentile(digest, 50)
